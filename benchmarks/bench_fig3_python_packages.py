@@ -1,0 +1,23 @@
+"""Figure 3 -- imported Python packages extracted from interpreter memory maps."""
+
+from repro.analysis.report import render_python_packages
+
+
+def test_fig3_python_packages(benchmark, bench_pipeline):
+    rows = benchmark(bench_pipeline.figure3_python_packages)
+    print()
+    print(render_python_packages(rows, title="Figure 3 (reproduced)"))
+
+    by_package = {row.package: row for row in rows}
+    python_user_count = max(row.unique_users for row in rows)
+
+    # Paper shape: heapq/struct/math etc. are imported by every Python user
+    # ("basic components in almost every Python execution"); mpi4py, numpy,
+    # pandas and scipy appear only for a subset of users.
+    for package in ("heapq", "struct", "math", "hashlib", "blake2"):
+        assert by_package[package].unique_users == python_user_count
+    for package in ("mpi4py", "pandas", "scipy"):
+        assert package in by_package
+        assert by_package[package].unique_users < python_user_count
+    assert by_package["numpy"].process_count <= by_package["heapq"].process_count
+    assert all(row.unique_scripts >= 1 for row in rows)

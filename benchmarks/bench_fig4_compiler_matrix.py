@@ -1,0 +1,31 @@
+"""Figure 4 -- compiler identification strings by software label (usage matrix)."""
+
+from repro.analysis.report import render_matrix
+from repro.corpus.toolchains import TOOLCHAIN_ORDER
+
+
+def test_fig4_compiler_matrix(benchmark, bench_pipeline):
+    matrix = benchmark(lambda: bench_pipeline.figure4_compiler_matrix())
+    print()
+    print(render_matrix(matrix, title="Figure 4 (reproduced): compilers x software labels"))
+
+    # Paper shape (Figure 4): LAMMPS uses GCC [SUSE] + LLD [AMD]; GROMACS only
+    # LLD [AMD]; miniconda the Red Hat / conda / rust stack; janko GCC [SUSE] +
+    # GCC [HPE]; icon GCC [SUSE] + Cray/AMD clang; amber GCC [SUSE] + clang
+    # [AMD]; gzip LLD [AMD]; alexandria GCC [SUSE]; RadRad GCC [SUSE] + clang [Cray].
+    assert matrix.value("LAMMPS", "GCC [SUSE]") == 1
+    assert matrix.value("LAMMPS", "LLD [AMD]") == 1
+    assert matrix.value("GROMACS", "LLD [AMD]") == 1
+    assert matrix.value("GROMACS", "GCC [SUSE]") == 0
+    assert matrix.value("miniconda", "GCC [Red Hat]") == 1
+    assert matrix.value("miniconda", "GCC [conda]") == 1
+    assert matrix.value("miniconda", "rustc") == 1
+    assert matrix.value("janko", "GCC [HPE]") == 1
+    assert matrix.value("icon", "clang [Cray]") == 1
+    assert matrix.value("icon", "clang [AMD]") == 1
+    assert matrix.value("amber", "clang [AMD]") == 1
+    assert matrix.value("gzip", "LLD [AMD]") == 1
+    assert matrix.value("alexandria", "GCC [SUSE]") == 1
+    assert matrix.value("RadRad", "clang [Cray]") == 1
+    # Every observed compiler column is one of the paper's eight toolchains.
+    assert set(matrix.column_labels) <= set(TOOLCHAIN_ORDER)

@@ -1,0 +1,139 @@
+"""Ablation -- fuzzy hashing vs cryptographic hashing vs byte-by-byte comparison.
+
+Section 2.1 motivates fuzzy hashing with two claims: (a) comparing fuzzy
+hashes is faster and more scalable than comparing files byte-by-byte, and
+(b) unlike cryptographic hashes, fuzzy hashes still recognise slightly
+modified executables.  These benches measure both on the synthetic corpus.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.packages import ICON
+from repro.hashing.ssdeep import FuzzyHasher, compare, fuzzy_hash
+from repro.hpcsim.cluster import Cluster
+from repro.util.rng import SeededRNG
+from repro.util.tables import TextTable
+
+
+@pytest.fixture(scope="module")
+def icon_variants() -> list[bytes]:
+    """The raw bytes of every installed ICON variant (realistic executables)."""
+    cluster = Cluster()
+    builder = CorpusBuilder(cluster)
+    builder.install_base_system()
+    user = cluster.add_user("bench")
+    records = builder.install_package(ICON, user)
+    return [cluster.filesystem.read(record.path) for record in records]
+
+
+@pytest.fixture(scope="module")
+def icon_digests(icon_variants) -> list[str]:
+    return [fuzzy_hash(content) for content in icon_variants]
+
+
+class TestHashingThroughput:
+    def test_fuzzy_hashing_one_executable(self, benchmark, icon_variants):
+        digest = benchmark(fuzzy_hash, icon_variants[0])
+        assert digest.count(":") == 2
+
+    def test_sha256_one_executable(self, benchmark, icon_variants):
+        """Reference point: a cryptographic hash of the same executable."""
+        digest = benchmark(lambda data: hashlib.sha256(data).hexdigest(), icon_variants[0])
+        assert len(digest) == 64
+
+
+class TestComparisonScaling:
+    def test_pairwise_fuzzy_comparison(self, benchmark, icon_digests):
+        def all_pairs() -> int:
+            total = 0
+            for i in range(len(icon_digests)):
+                for j in range(i + 1, len(icon_digests)):
+                    total += compare(icon_digests[i], icon_digests[j])
+            return total
+
+        total = benchmark(all_pairs)
+        assert total > 0
+
+    def test_pairwise_byte_comparison(self, benchmark, icon_variants):
+        """The alternative SIREN avoids: comparing raw files byte-by-byte."""
+        def all_pairs() -> int:
+            matches = 0
+            for i in range(len(icon_variants)):
+                for j in range(i + 1, len(icon_variants)):
+                    a, b = icon_variants[i], icon_variants[j]
+                    matches += sum(x == y for x, y in zip(a, b))
+            return matches
+
+        assert benchmark(all_pairs) > 0
+
+    def test_fuzzy_comparison_is_cheaper_than_byte_comparison(self, icon_digests, icon_variants):
+        import time
+
+        start = time.perf_counter()
+        for i in range(len(icon_digests)):
+            for j in range(i + 1, len(icon_digests)):
+                compare(icon_digests[i], icon_digests[j])
+        fuzzy_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for i in range(len(icon_variants)):
+            for j in range(i + 1, len(icon_variants)):
+                a, b = icon_variants[i], icon_variants[j]
+                sum(x == y for x, y in zip(a, b))
+        byte_time = time.perf_counter() - start
+
+        table = TextTable(["method", "seconds (all pairs)"], title="Comparison cost")
+        table.add_row(["fuzzy-hash compare", f"{fuzzy_time:.4f}"])
+        table.add_row(["byte-by-byte", f"{byte_time:.4f}"])
+        print()
+        print(table.render())
+        assert fuzzy_time < byte_time
+
+
+class TestRecognitionAbility:
+    def test_crypto_hash_fails_on_variants_fuzzy_succeeds(self, icon_variants):
+        """A one-byte change defeats SHA-256 matching but not fuzzy matching."""
+        original = icon_variants[0]
+        mutated = bytearray(original)
+        mutated[len(mutated) // 2] ^= 0xFF
+        mutated = bytes(mutated)
+
+        assert hashlib.sha256(original).hexdigest() != hashlib.sha256(mutated).hexdigest()
+        assert compare(fuzzy_hash(original), fuzzy_hash(mutated)) >= 90
+
+    def test_variant_recognition_rate(self, icon_variants, icon_digests):
+        """Most ICON variants recognise each other (score > 0) via the raw-file hash."""
+        recognised = 0
+        pairs = 0
+        for i in range(len(icon_digests)):
+            for j in range(i + 1, len(icon_digests)):
+                pairs += 1
+                if compare(icon_digests[i], icon_digests[j]) > 0:
+                    recognised += 1
+        assert recognised / pairs > 0.5
+
+    def test_unrelated_payloads_not_recognised(self):
+        rng = SeededRNG(5)
+        a = fuzzy_hash(rng.bytes(16384))
+        b = fuzzy_hash(rng.bytes(16384))
+        assert compare(a, b) == 0
+
+    def test_signature_size_is_compact(self, icon_variants, icon_digests):
+        """Fuzzy digests are tiny compared with the executables they summarise."""
+        total_content = sum(len(content) for content in icon_variants)
+        total_digest = sum(len(digest) for digest in icon_digests)
+        assert total_digest < total_content / 100
+
+
+class TestHasherConfiguration:
+    def test_disabling_double_signature_requirement(self, icon_variants):
+        """Ablation of the common-substring guard: scores can only grow without it."""
+        strict = FuzzyHasher(require_common_substring=True)
+        loose = FuzzyHasher(require_common_substring=False)
+        a, b = icon_variants[0], icon_variants[1]
+        strict_score = strict.compare(strict.hash(a), strict.hash(b))
+        loose_score = loose.compare(loose.hash(a), loose.hash(b))
+        assert loose_score >= strict_score

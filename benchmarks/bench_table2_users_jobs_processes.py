@@ -1,0 +1,28 @@
+"""Table 2 -- users, jobs and processes per category.
+
+Regenerates the paper's Table 2 from the benchmark campaign and benchmarks the
+aggregation itself.  Absolute counts scale with ``REPRO_BENCH_SCALE``; the
+structure (user ordering, per-user category mix) matches the paper.
+"""
+
+from repro.analysis.report import render_user_activity
+from repro.analysis.stats import activity_totals
+
+
+def test_table2_users_jobs_processes(benchmark, bench_pipeline):
+    rows = benchmark(bench_pipeline.table2_user_activity)
+    totals = activity_totals(rows)
+    print()
+    print(render_user_activity(rows, title="Table 2 (reproduced)"))
+    print(f"Total: jobs={totals.job_count:,d} system={totals.system_processes:,d} "
+          f"user={totals.user_processes:,d} python={totals.python_processes:,d}")
+
+    by_user = {row.user: row for row in rows}
+    # Paper shape: user_1 submits the most jobs, runs only system executables;
+    # user_4 launches by far the most Python processes; user_6 never touches
+    # system directories.
+    assert rows[0].user == "user_1"
+    assert by_user["user_1"].user_processes == 0
+    assert by_user["user_4"].python_processes == max(r.python_processes for r in rows)
+    assert by_user["user_6"].system_processes == 0
+    assert len(rows) >= 12

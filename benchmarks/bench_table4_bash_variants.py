@@ -1,0 +1,20 @@
+"""Table 4 -- distinct sets of shared objects loaded by /usr/bin/bash."""
+
+from repro.analysis.report import render_shared_object_variants
+
+
+def test_table4_bash_variants(benchmark, bench_pipeline):
+    rows = benchmark(lambda: bench_pipeline.table4_shared_object_variants("bash"))
+    print()
+    print(render_shared_object_variants(rows, title="Table 4 (reproduced)"))
+
+    # Paper shape: the default variant (system libtinfo, no libm) dominates;
+    # at least one variant resolves libtinfo from a user/spack install, and
+    # one variant additionally drags in libm.
+    assert len(rows) >= 2
+    assert rows[0].process_count == max(row.process_count for row in rows)
+    assert rows[0].distinguishing["libtinfo"].startswith("/lib64/")
+    assert rows[0].distinguishing["libm"] == ""
+    assert any(row.distinguishing["libtinfo"]
+               and not row.distinguishing["libtinfo"].startswith("/lib64/") for row in rows[1:])
+    assert any(row.distinguishing["libm"] for row in rows[1:])

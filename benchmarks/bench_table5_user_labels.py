@@ -1,0 +1,25 @@
+"""Table 5 -- derived labels for user applications."""
+
+from repro.analysis.labels import UNKNOWN_LABEL
+from repro.analysis.report import render_labels
+
+
+def test_table5_user_labels(benchmark, bench_pipeline):
+    rows = benchmark(bench_pipeline.table5_user_applications)
+    print()
+    print(render_labels(rows, title="Table 5 (reproduced)"))
+
+    by_label = {row.label: row for row in rows}
+    # Paper shape: LAMMPS and GROMACS are the only multi-user applications,
+    # GROMACS is a single shared executable, icon has by far the most distinct
+    # executables of a single user, and one UNKNOWN instance remains.
+    assert by_label["LAMMPS"].unique_users == 2
+    assert by_label["GROMACS"].unique_users == 2
+    assert by_label["GROMACS"].unique_file_h == 1
+    single_user_labels = [row for row in rows if row.label not in ("LAMMPS", "GROMACS")]
+    assert all(row.unique_users == 1 for row in single_user_labels)
+    assert by_label["icon"].unique_file_h == max(row.unique_file_h for row in rows)
+    assert UNKNOWN_LABEL in by_label
+    expected = {"LAMMPS", "GROMACS", "miniconda", "janko", "icon", "amber", "gzip",
+                "alexandria", "RadRad", UNKNOWN_LABEL}
+    assert expected <= set(by_label)

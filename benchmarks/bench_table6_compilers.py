@@ -1,0 +1,21 @@
+"""Table 6 -- compiler identification strings of applications in user directories."""
+
+from repro.analysis.report import render_compiler_combinations
+
+
+def test_table6_compiler_combinations(benchmark, bench_pipeline):
+    rows = benchmark(bench_pipeline.table6_compilers)
+    print()
+    print(render_compiler_combinations(rows, title="Table 6 (reproduced)"))
+
+    combos = {row.compilers for row in rows}
+    # Paper shape: several binaries carry multiple toolchains; the Cray,
+    # AMD/ROCm, conda and rust toolchains all appear; a plain single-linker
+    # combination (LLD [AMD]) is among the most widely used.
+    assert any(len(combo) >= 2 for combo in combos)
+    assert ("GCC [SUSE]", "clang [Cray]") in combos
+    assert ("GCC [Red Hat]", "GCC [conda]", "rustc") in combos
+    assert ("GCC [SUSE]", "clang [AMD]") in combos
+    assert any(combo == ("LLD [AMD]",) or "LLD [AMD]" in combo for combo in combos)
+    top = rows[0]
+    assert top.unique_users >= 2

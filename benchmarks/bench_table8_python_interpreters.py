@@ -1,0 +1,21 @@
+"""Table 8 -- Python interpreters, their users, processes and distinct scripts."""
+
+from repro.analysis.report import render_python_interpreters
+
+
+def test_table8_python_interpreters(benchmark, bench_pipeline):
+    rows = benchmark(bench_pipeline.table8_python_interpreters)
+    print()
+    print(render_python_interpreters(rows, title="Table 8 (reproduced)"))
+
+    by_name = {row.interpreter: row for row in rows}
+    # Paper shape: three Python 3 interpreters; python3.10 has the most users
+    # and the greatest script diversity relative to its process count;
+    # python3.6 runs by far the most processes.
+    assert set(by_name) == {"python3.6", "python3.10", "python3.11"}
+    assert by_name["python3.10"].unique_users == 2
+    assert by_name["python3.6"].unique_users == 1
+    assert by_name["python3.11"].unique_users == 1
+    assert by_name["python3.6"].process_count == max(row.process_count for row in rows)
+    diversity = {name: row.unique_script_h / row.process_count for name, row in by_name.items()}
+    assert diversity["python3.10"] == max(diversity.values())

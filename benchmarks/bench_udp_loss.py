@@ -1,0 +1,48 @@
+"""Ablation -- UDP loss vs completeness of the consolidated records.
+
+Section 3.1 reports that roughly 0.02 % of the jobs have missing fields
+attributable to UDP message loss, and argues that hashing each collected list
+keeps partially lost records analysable.  This bench sweeps the datagram loss
+rate and reports the fraction of incomplete consolidated records.
+"""
+
+import pytest
+
+from repro.util.tables import TextTable
+from repro.workload import CampaignConfig, DeploymentCampaign
+
+
+def _run_with_loss(loss_rate: float):
+    config = CampaignConfig(scale=0.0, seed=11, loss_rate=loss_rate, min_jobs_per_user=2)
+    return DeploymentCampaign(config=config).run()
+
+
+@pytest.mark.parametrize("loss_rate", [0.0, 0.0002, 0.01, 0.05])
+def test_udp_loss_sweep(benchmark, loss_rate):
+    result = benchmark.pedantic(_run_with_loss, args=(loss_rate,), rounds=1, iterations=1)
+    incomplete = result.incomplete_fraction
+    observed = getattr(result.channel, "observed_loss_rate", 0.0)
+    table = TextTable(["configured loss", "observed datagram loss", "incomplete records"],
+                      title="UDP loss ablation")
+    table.add_row([f"{loss_rate:.4f}", f"{observed:.4f}", f"{incomplete:.4f}"])
+    print()
+    print(table.render())
+
+    # Shape: completeness degrades monotonically-ish with loss; at the paper's
+    # operating point (0.02 % datagram loss) the incomplete fraction stays tiny.
+    if loss_rate == 0.0:
+        assert incomplete == 0.0
+    elif loss_rate <= 0.0002:
+        assert incomplete < 0.02
+    elif loss_rate >= 0.05:
+        assert incomplete > 0.0
+
+
+def test_list_hashes_survive_partial_loss():
+    """Even heavily lossy collection keeps the per-list hashes usable for similarity."""
+    lossless = _run_with_loss(0.0)
+    lossy = _run_with_loss(0.05)
+    lossless_hashes = {r.objects_h for r in lossless.records if r.objects_h}
+    lossy_hashes = {r.objects_h for r in lossy.records if r.objects_h}
+    # The same object-list hashes are still observed despite datagram loss.
+    assert lossy_hashes & lossless_hashes

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One scaled deployment campaign is executed per benchmark session and shared by
+every table/figure benchmark; the scale can be overridden with the
+``REPRO_BENCH_SCALE`` environment variable (1.0 reproduces the paper's job
+counts, the default keeps the harness laptop-friendly).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import AnalysisPipeline
+from repro.workload import CampaignConfig, CampaignResult, DeploymentCampaign
+
+#: Default fraction of the paper's job counts executed by the benchmark campaign.
+DEFAULT_BENCH_SCALE = 0.01
+
+
+def bench_scale() -> float:
+    """Benchmark campaign scale (override with REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_campaign() -> CampaignResult:
+    """The deployment campaign all table/figure benchmarks analyse."""
+    config = CampaignConfig(scale=bench_scale(), seed=2025, loss_rate=0.0002)
+    return DeploymentCampaign(config=config).run()
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_campaign: CampaignResult) -> AnalysisPipeline:
+    """Analysis pipeline over the benchmark campaign."""
+    return AnalysisPipeline(bench_campaign.records, bench_campaign.user_names)

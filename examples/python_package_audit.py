@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Audit imported Python packages and recognise repeated executions.
+
+Two forward-looking use cases from the paper's conclusion:
+
+* cross-referencing imported Python packages against known package lists to
+  detect potential slopsquatting / insecure packages (Section 4.4), and
+* recognising repeated executions of the same software across jobs, which is
+  the prerequisite for performance-variability studies (Section 1, use case a).
+
+Run with::
+
+    python examples/python_package_audit.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.pythonpkgs import audit_python_packages
+from repro.analysis.recognition import recognize_repeated_executions
+from repro.core import AnalysisPipeline
+from repro.corpus.python_env import PYTHON_PACKAGES_BY_NAME
+from repro.util.tables import TextTable
+from repro.workload import CampaignConfig, DeploymentCampaign
+
+
+def main(scale: float = 0.01) -> None:
+    print(f"Running the opt-in deployment campaign at scale {scale} ...")
+    result = DeploymentCampaign(CampaignConfig(scale=scale, seed=5)).run()
+    pipeline = AnalysisPipeline(result.records, result.user_names)
+
+    # --- Python package audit -------------------------------------------- #
+    # Pretend the site's allow-list is missing two packages that users import
+    # and that one imported package version is on a safety-db style list.
+    known = set(PYTHON_PACKAGES_BY_NAME) - {"mpi4py", "zoneinfo"}
+    insecure = {"lzma"}
+    findings = audit_python_packages(result.records, known_packages=known,
+                                     insecure_packages=insecure,
+                                     user_names=result.user_names)
+    table = TextTable(["package", "reason", "processes", "users"],
+                      title="Python package audit findings")
+    for finding in findings:
+        table.add_row([finding.package, finding.reason, finding.process_count,
+                       ", ".join(finding.users)])
+    print()
+    print(table.render() if findings else "No suspicious imported packages.")
+
+    # --- Repeated-execution recognition ----------------------------------- #
+    report = recognize_repeated_executions(result.records, threshold=55)
+    recognition = TextTable(["software family", "distinct executables", "jobs", "processes",
+                             "repeated?"], title="Recognised software families")
+    for row in report.rows:
+        recognition.add_row([row.label, row.distinct_executables, row.job_count,
+                             row.process_count, row.repeated])
+    print()
+    print(recognition.render())
+    repeated = [row.label for row in report.repeated_families()]
+    print(f"\nSoftware executed repeatedly across jobs: {', '.join(repeated) or 'none'}")
+
+    # For completeness, show the Figure 3 style package table too.
+    top = pipeline.figure3_python_packages()[:10]
+    usage = TextTable(["package", "users", "jobs", "processes"],
+                      title="Most imported Python packages")
+    for row in top:
+        usage.add_row([row.package, row.unique_users, row.job_count, row.process_count])
+    print()
+    print(usage.render())
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.01)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Generate a full software-usage report for system operators.
+
+This is the "usage statistics" use case of the paper: after a collection
+campaign, produce the per-user activity table, the most-used system
+executables, the derived application labels, compiler and library dependency
+matrices, and the Python interpreter/package statistics -- everything a user
+support team or a procurement decision would draw on (Tables 2-6, 8 and
+Figures 2-5).
+
+Run with::
+
+    python examples/software_usage_report.py [scale] [output_path]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import AnalysisPipeline
+from repro.workload import CampaignConfig, DeploymentCampaign
+
+
+def main(scale: float = 0.01, output_path: str | None = None) -> None:
+    print(f"Running the opt-in deployment campaign at scale {scale} ...")
+    result = DeploymentCampaign(CampaignConfig(scale=scale, seed=42)).run()
+    pipeline = AnalysisPipeline(result.records, result.user_names)
+
+    header = [
+        "SIREN software usage report",
+        "===========================",
+        f"users: {len(result.user_names)}   jobs: {result.jobs_run:,d}   "
+        f"processes: {result.processes_run:,d}   records: {len(result.records):,d}",
+        f"datagrams sent: {result.channel.datagrams_sent:,d}   "
+        f"incomplete records: {result.incomplete_fraction:.4%}",
+        "",
+    ]
+    body = pipeline.render_all()
+    text = "\n".join(header) + "\n" + body
+
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"Report written to {output_path} ({len(text.splitlines())} lines).")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    scale_arg = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    output_arg = sys.argv[2] if len(sys.argv) > 2 else None
+    main(scale_arg, output_arg)

@@ -1,0 +1,194 @@
+"""Recognition of repeated executions and similarity clustering.
+
+Beyond the one-baseline similarity search of Table 7, the paper motivates
+SIREN with the *recognition of repeated executions of known applications* and
+with future plans to analyse software usage at scale.  This module provides
+that layer:
+
+* :func:`similarity_graph` builds a graph whose nodes are executable instances
+  and whose edges connect instances with average fuzzy-hash similarity above a
+  threshold,
+* :class:`SoftwareFamily` / :func:`cluster_instances` extract connected
+  components ("software families") from that graph, label each family from its
+  known members, and therefore propagate labels to unknown instances in bulk,
+* :func:`recognize_repeated_executions` reports, per family, how often the
+  same software was executed across jobs — the paper's "repeated execution"
+  use case (performance-variability studies need exactly this grouping).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.analysis.labels import UNKNOWN_LABEL
+from repro.analysis.similarity import HASH_COLUMNS, ExecutableInstance, SimilaritySearch
+from repro.db.store import ProcessRecord
+
+
+def similarity_graph(
+    search: SimilaritySearch,
+    *,
+    threshold: int = 60,
+    columns: tuple[str, ...] = HASH_COLUMNS,
+) -> nx.Graph:
+    """Build the instance-similarity graph.
+
+    Nodes are instance keys (carrying the instance as a node attribute); an
+    edge is added between two instances when the average similarity over
+    ``columns`` is at least ``threshold``.  The edge weight is that average.
+    """
+    if not 0 <= threshold <= 100:
+        raise ValueError("threshold must be between 0 and 100")
+    graph = nx.Graph()
+    instances = search.instances
+    for instance in instances:
+        graph.add_node(instance.key, instance=instance)
+    for i, first in enumerate(instances):
+        for second in instances[i + 1:]:
+            scores = search.compare_instances(first, second)
+            average = sum(scores[column] for column in columns) / len(columns)
+            if average >= threshold:
+                graph.add_edge(first.key, second.key, weight=average)
+    return graph
+
+
+@dataclass(frozen=True)
+class SoftwareFamily:
+    """One cluster of mutually similar executable instances."""
+
+    family_id: int
+    label: str
+    instances: tuple[ExecutableInstance, ...]
+    labelled_members: int
+    unknown_members: int
+
+    @property
+    def executables(self) -> tuple[str, ...]:
+        """Paths of the member instances."""
+        return tuple(instance.executable for instance in self.instances)
+
+    @property
+    def size(self) -> int:
+        """Number of member instances."""
+        return len(self.instances)
+
+
+def cluster_instances(
+    search: SimilaritySearch,
+    *,
+    threshold: int = 60,
+    columns: tuple[str, ...] = HASH_COLUMNS,
+) -> list[SoftwareFamily]:
+    """Group instances into software families by similarity.
+
+    Each connected component of the similarity graph becomes a family; the
+    family label is the most common non-UNKNOWN derived label among its
+    members (so unknown instances inherit the label of the known instances
+    they cluster with), or ``UNKNOWN`` for components with no known member.
+    Families are returned largest first.
+    """
+    graph = similarity_graph(search, threshold=threshold, columns=columns)
+    families: list[SoftwareFamily] = []
+    for family_id, component in enumerate(nx.connected_components(graph)):
+        members = tuple(graph.nodes[node]["instance"] for node in sorted(component))
+        label_counts = Counter(instance.label for instance in members
+                               if instance.label != UNKNOWN_LABEL)
+        label = label_counts.most_common(1)[0][0] if label_counts else UNKNOWN_LABEL
+        unknown_members = sum(1 for instance in members if instance.label == UNKNOWN_LABEL)
+        families.append(SoftwareFamily(
+            family_id=family_id,
+            label=label,
+            instances=members,
+            labelled_members=len(members) - unknown_members,
+            unknown_members=unknown_members,
+        ))
+    families.sort(key=lambda family: family.size, reverse=True)
+    return families
+
+
+def propagate_labels(families: list[SoftwareFamily]) -> dict[str, str]:
+    """Executable path -> family label, including previously UNKNOWN paths."""
+    mapping: dict[str, str] = {}
+    for family in families:
+        for instance in family.instances:
+            mapping[instance.executable] = family.label
+    return mapping
+
+
+@dataclass(frozen=True)
+class RepeatedExecutionRow:
+    """Recognition summary for one software family."""
+
+    label: str
+    distinct_executables: int
+    job_count: int
+    process_count: int
+    first_seen: int
+    last_seen: int
+
+    @property
+    def repeated(self) -> bool:
+        """True if the same software executed in more than one job."""
+        return self.job_count > 1
+
+
+@dataclass
+class RecognitionReport:
+    """Repeated-execution recognition over a set of records."""
+
+    rows: list[RepeatedExecutionRow] = field(default_factory=list)
+
+    def repeated_families(self) -> list[RepeatedExecutionRow]:
+        """Families executed across more than one job."""
+        return [row for row in self.rows if row.repeated]
+
+
+def recognize_repeated_executions(
+    records: list[ProcessRecord],
+    *,
+    threshold: int = 60,
+    columns: tuple[str, ...] = HASH_COLUMNS,
+) -> RecognitionReport:
+    """Recognise repeated executions of the same software across jobs.
+
+    Instances are clustered into families; every user-directory process record
+    is then attributed to its family (via its executable path) and per-family
+    job/process counts and first/last execution times are reported.
+    """
+    search = SimilaritySearch(records)
+    families = cluster_instances(search, threshold=threshold, columns=columns)
+    label_of = propagate_labels(families)
+
+    jobs: dict[str, set[str]] = {}
+    processes: dict[str, int] = {}
+    executables: dict[str, set[str]] = {}
+    first_seen: dict[str, int] = {}
+    last_seen: dict[str, int] = {}
+    for record in records:
+        label = label_of.get(record.executable)
+        if label is None:
+            continue
+        jobs.setdefault(label, set())
+        if record.jobid:
+            jobs[label].add(record.jobid)
+        processes[label] = processes.get(label, 0) + 1
+        executables.setdefault(label, set()).add(record.executable)
+        first_seen[label] = min(first_seen.get(label, record.time), record.time)
+        last_seen[label] = max(last_seen.get(label, record.time), record.time)
+
+    rows = [
+        RepeatedExecutionRow(
+            label=label,
+            distinct_executables=len(executables[label]),
+            job_count=len(jobs[label]),
+            process_count=processes[label],
+            first_seen=first_seen[label],
+            last_seen=last_seen[label],
+        )
+        for label in processes
+    ]
+    rows.sort(key=lambda row: (row.job_count, row.process_count), reverse=True)
+    return RecognitionReport(rows=rows)

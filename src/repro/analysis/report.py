@@ -1,0 +1,115 @@
+"""Render analysis results as text tables matching the paper's presentation."""
+
+from __future__ import annotations
+
+from repro.analysis.compilers import CompilerCombinationRow
+from repro.analysis.labels import LabelRow
+from repro.analysis.libfilter import LibraryUsageRow
+from repro.analysis.matrices import UsageMatrix
+from repro.analysis.pythonpkgs import PythonPackageRow
+from repro.analysis.similarity import HASH_COLUMNS, SimilarityResult
+from repro.analysis.stats import (
+    PythonInterpreterRow,
+    SharedObjectVariantRow,
+    SystemExecutableRow,
+    UserActivityRow,
+)
+from repro.util.tables import TextTable
+
+
+def render_user_activity(rows: list[UserActivityRow], title: str = "Table 2") -> str:
+    """Render Table 2."""
+    table = TextTable(["User", "Job count", "System dir. processes",
+                       "User dir. processes", "Python processes"], title=title)
+    for row in rows:
+        table.add_row([row.user, row.job_count, row.system_processes,
+                       row.user_processes, row.python_processes])
+    return table.render()
+
+
+def render_system_executables(rows: list[SystemExecutableRow], title: str = "Table 3") -> str:
+    """Render Table 3."""
+    table = TextTable(["Executable", "Unique users", "Job count", "Process count",
+                       "Unique OBJECTS_H"], title=title)
+    for row in rows:
+        table.add_row([row.executable, row.unique_users, row.job_count,
+                       row.process_count, row.unique_objects_h])
+    return table.render()
+
+
+def render_shared_object_variants(rows: list[SharedObjectVariantRow],
+                                  title: str = "Table 4") -> str:
+    """Render Table 4."""
+    table = TextTable(["Executable", "Processes", "libtinfo path", "libm path"], title=title)
+    for row in rows:
+        table.add_row([row.executable, row.process_count,
+                       row.distinguishing.get("libtinfo", "") or "-",
+                       row.distinguishing.get("libm", "") or "-"])
+    return table.render()
+
+
+def render_labels(rows: list[LabelRow], title: str = "Table 5") -> str:
+    """Render Table 5."""
+    table = TextTable(["Software label", "Unique users", "Job count", "Process count",
+                       "Unique FILE_H"], title=title)
+    for row in rows:
+        table.add_row([row.label, row.unique_users, row.job_count, row.process_count,
+                       row.unique_file_h])
+    return table.render()
+
+
+def render_compiler_combinations(rows: list[CompilerCombinationRow],
+                                 title: str = "Table 6") -> str:
+    """Render Table 6."""
+    table = TextTable(["Compiler name [provenance]", "Unique users", "Job count",
+                       "Process count", "Unique FILE_H"], title=title)
+    for row in rows:
+        table.add_row([row.display, row.unique_users, row.job_count, row.process_count,
+                       row.unique_file_h])
+    return table.render()
+
+
+def render_similarity(results: list[SimilarityResult], title: str = "Table 7") -> str:
+    """Render Table 7."""
+    table = TextTable(["Label", "Avg. Sim.", *HASH_COLUMNS], title=title)
+    for result in results:
+        table.add_row(result.as_row())
+    return table.render()
+
+
+def render_python_interpreters(rows: list[PythonInterpreterRow], title: str = "Table 8") -> str:
+    """Render Table 8."""
+    table = TextTable(["Python interpreter", "Unique users", "Job count", "Process count",
+                       "Unique SCRIPT_H"], title=title)
+    for row in rows:
+        table.add_row([row.interpreter, row.unique_users, row.job_count, row.process_count,
+                       row.unique_script_h])
+    return table.render()
+
+
+def render_library_usage(rows: list[LibraryUsageRow], title: str = "Figure 2") -> str:
+    """Render Figure 2 as a table."""
+    table = TextTable(["Library tag", "Unique users", "Jobs", "Processes",
+                       "Unique executables"], title=title)
+    for row in rows:
+        table.add_row([row.tag, row.unique_users, row.job_count, row.process_count,
+                       row.unique_executables])
+    return table.render()
+
+
+def render_python_packages(rows: list[PythonPackageRow], title: str = "Figure 3") -> str:
+    """Render Figure 3 as a table."""
+    table = TextTable(["Package", "Unique users", "Jobs", "Processes",
+                       "Unique Python scripts"], title=title)
+    for row in rows:
+        table.add_row([row.package, row.unique_users, row.job_count, row.process_count,
+                       row.unique_scripts])
+    return table.render()
+
+
+def render_matrix(matrix: UsageMatrix, title: str) -> str:
+    """Render Figure 4 / Figure 5 as a 0/1 table."""
+    table = TextTable(["Software label", *matrix.column_labels], title=title)
+    for row_label, row in zip(matrix.row_labels, matrix.cells):
+        table.add_row([row_label, *row])
+    return table.render()

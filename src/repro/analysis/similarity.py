@@ -1,0 +1,196 @@
+"""Fuzzy-hash similarity search: identify unknown executables (Table 7).
+
+Given a *baseline* instance (typically one labelled ``UNKNOWN`` because its
+file/path name is nondescript), the search compares its six fuzzy hashes --
+modules (``MO_H``), compilers (``CO_H``), shared objects (``OB_H``), raw file
+(``FI_H``), printable strings (``ST_H``) and symbols (``SY_H``) -- against
+every other known instance and ranks candidates by the average similarity.
+A perfect 100 across all columns means "effectively the same executable in the
+same environment"; decreasing scores trace version/compilation distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.labels import LABEL_RULES, UNKNOWN_LABEL, derive_label
+from repro.collector.classify import ExecutableCategory
+from repro.db.store import ProcessRecord
+from repro.hashing.ssdeep import FuzzyHasher
+from repro.util.errors import AnalysisError
+
+#: Column order of Table 7.
+HASH_COLUMNS: tuple[str, ...] = ("MO_H", "CO_H", "OB_H", "FI_H", "ST_H", "SY_H")
+
+_FIELD_OF_COLUMN: dict[str, str] = {
+    "MO_H": "modules_h",
+    "CO_H": "compilers_h",
+    "OB_H": "objects_h",
+    "FI_H": "file_h",
+    "ST_H": "strings_h",
+    "SY_H": "symbols_h",
+}
+
+
+@dataclass(frozen=True)
+class ExecutableInstance:
+    """One distinct (executable content, environment) combination."""
+
+    executable: str
+    label: str
+    hashes: dict[str, str]
+    process_count: int = 1
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        """Identity key: the executable path plus the six hash values.
+
+        The path is part of the identity because "multiple instances of
+        (exactly) the same executable can exist in different paths"
+        (Section 4.3) -- a byte-identical copy under a nondescript name must
+        remain a distinct instance so the similarity search can match it back
+        to its known counterpart.
+        """
+        return (self.executable, *(self.hashes.get(column, "") for column in HASH_COLUMNS))
+
+
+@dataclass(frozen=True)
+class SimilarityResult:
+    """One row of a similarity-search result (one candidate instance)."""
+
+    label: str
+    executable: str
+    scores: dict[str, int]
+    average: float
+
+    def as_row(self) -> list[object]:
+        """Row in Table 7 column order."""
+        return [self.label, round(self.average, 1),
+                *[self.scores.get(column, 0) for column in HASH_COLUMNS]]
+
+
+@dataclass
+class SimilaritySearch:
+    """Index user-directory records into instances and run similarity queries."""
+
+    records: list[ProcessRecord]
+    rules: tuple = LABEL_RULES
+    hasher: FuzzyHasher = field(default_factory=FuzzyHasher)
+    instances: list[ExecutableInstance] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.instances = self._build_instances()
+
+    # ------------------------------------------------------------------ #
+    # index construction
+    # ------------------------------------------------------------------ #
+    def _build_instances(self) -> list[ExecutableInstance]:
+        grouped: dict[tuple[str, ...], ExecutableInstance] = {}
+        for record in self.records:
+            if record.category != ExecutableCategory.USER.value:
+                continue
+            if not record.file_h:
+                continue
+            hashes = {column: getattr(record, _FIELD_OF_COLUMN[column]) or ""
+                      for column in HASH_COLUMNS}
+            instance = ExecutableInstance(
+                executable=record.executable,
+                label=derive_label(record.executable, self.rules),
+                hashes=hashes,
+            )
+            existing = grouped.get(instance.key)
+            if existing is None:
+                grouped[instance.key] = instance
+            else:
+                grouped[instance.key] = ExecutableInstance(
+                    executable=existing.executable,
+                    label=existing.label,
+                    hashes=existing.hashes,
+                    process_count=existing.process_count + 1,
+                )
+        return list(grouped.values())
+
+    def unknown_instances(self) -> list[ExecutableInstance]:
+        """Instances whose derived label is UNKNOWN (the search baselines)."""
+        return [instance for instance in self.instances if instance.label == UNKNOWN_LABEL]
+
+    def labelled_instances(self) -> list[ExecutableInstance]:
+        """Instances with a known derived label (the search candidates)."""
+        return [instance for instance in self.instances if instance.label != UNKNOWN_LABEL]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def compare_instances(self, first: ExecutableInstance,
+                          second: ExecutableInstance) -> dict[str, int]:
+        """Per-column similarity scores between two instances."""
+        scores: dict[str, int] = {}
+        for column in HASH_COLUMNS:
+            hash_a = first.hashes.get(column, "")
+            hash_b = second.hashes.get(column, "")
+            if not hash_a or not hash_b:
+                scores[column] = 0
+                continue
+            scores[column] = self.hasher.compare(hash_a, hash_b)
+        return scores
+
+    def query(
+        self,
+        baseline: ExecutableInstance,
+        *,
+        candidates: list[ExecutableInstance] | None = None,
+        top: int | None = None,
+        columns: tuple[str, ...] = HASH_COLUMNS,
+    ) -> list[SimilarityResult]:
+        """Rank candidate instances by average similarity to ``baseline``."""
+        pool = candidates if candidates is not None else self.labelled_instances()
+        results: list[SimilarityResult] = []
+        for candidate in pool:
+            if candidate.key == baseline.key:
+                continue
+            scores = self.compare_instances(baseline, candidate)
+            selected = {column: scores[column] for column in columns}
+            average = sum(selected.values()) / len(selected) if selected else 0.0
+            results.append(SimilarityResult(
+                label=candidate.label, executable=candidate.executable,
+                scores=selected, average=average,
+            ))
+        results.sort(key=lambda result: result.average, reverse=True)
+        return results[:top] if top is not None else results
+
+    def identify_unknown(self, *, top: int = 10) -> dict[str, list[SimilarityResult]]:
+        """Run the Table 7 search for every UNKNOWN instance.
+
+        Returns a mapping of the unknown instance's executable path to its
+        ranked candidate list.
+        """
+        unknowns = self.unknown_instances()
+        if not unknowns:
+            raise AnalysisError("no UNKNOWN instances to identify")
+        return {
+            unknown.executable: self.query(unknown, top=top)
+            for unknown in unknowns
+        }
+
+    def best_match(self, baseline: ExecutableInstance) -> SimilarityResult | None:
+        """The single best candidate for a baseline (or ``None`` if no candidates)."""
+        ranked = self.query(baseline, top=1)
+        return ranked[0] if ranked else None
+
+    # ------------------------------------------------------------------ #
+    # pairwise matrix (used by the scaling ablation bench)
+    # ------------------------------------------------------------------ #
+    def pairwise_average_matrix(self, column: str = "FI_H") -> list[list[int]]:
+        """Full pairwise similarity matrix over instances for one hash column."""
+        size = len(self.instances)
+        matrix = [[0] * size for _ in range(size)]
+        for i in range(size):
+            matrix[i][i] = 100
+            for j in range(i + 1, size):
+                score = self.hasher.compare(
+                    self.instances[i].hashes.get(column, "") or "3::",
+                    self.instances[j].hashes.get(column, "") or "3::",
+                )
+                matrix[i][j] = score
+                matrix[j][i] = score
+        return matrix

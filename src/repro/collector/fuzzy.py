@@ -1,0 +1,119 @@
+"""Fuzzy hashing of collected artefacts.
+
+SIREN computes SSDeep fuzzy hashes of
+
+* the raw executable file (``FILE_H``),
+* its printable strings (``STRINGS_H``),
+* its global-scope ELF symbols (``SYMBOLS_H``),
+* the Python input script (``SCRIPT_H`` -- stored as the script layer's
+  ``FILE_H``), and
+* each collected list (modules, compilers, shared objects, memory map), so
+  that those remain comparable even when parts are lost in transit.
+
+Hashing an executable is by far the most expensive part of collection, so
+:class:`ArtifactHasher` memoises per ``(path, mtime)`` -- re-executing the same
+unchanged binary thousands of times (the common case on an HPC system) costs
+one hash, not thousands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.reader import ELFFile, is_elf
+from repro.elf.strings import strings_blob
+from repro.elf.symbols import nm_listing
+from repro.hashing.ssdeep import FuzzyHasher
+from repro.hpcsim.filesystem import VirtualFilesystem
+
+
+@dataclass(frozen=True)
+class ExecutableHashes:
+    """The three per-executable fuzzy hashes."""
+
+    file_hash: str
+    strings_hash: str
+    symbols_hash: str
+
+
+@dataclass
+class ArtifactHasher:
+    """Compute (and cache) the fuzzy hashes the collector needs."""
+
+    filesystem: VirtualFilesystem
+    hasher: FuzzyHasher = field(default_factory=FuzzyHasher)
+    cache_enabled: bool = True
+    _cache: dict[tuple[str, int], ExecutableHashes] = field(default_factory=dict)
+    _list_cache: dict[str, str] = field(default_factory=dict)
+    list_cache_limit: int = 100_000
+    hashes_computed: int = 0
+    cache_hits: int = 0
+
+    # ------------------------------------------------------------------ #
+    # executables
+    # ------------------------------------------------------------------ #
+    def executable_hashes(self, path: str) -> ExecutableHashes:
+        """FILE_H / STRINGS_H / SYMBOLS_H for the executable at ``path``."""
+        metadata = self.filesystem.stat(path)
+        key = (path, metadata.mtime)
+        if self.cache_enabled:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+
+        content = self.filesystem.read(path)
+        file_hash = str(self.hasher.hash(content))
+        strings_hash = str(self.hasher.hash_text(strings_blob(content)))
+        if is_elf(content):
+            symbols_hash = str(self.hasher.hash_text(nm_listing(ELFFile(content))))
+        else:
+            symbols_hash = str(self.hasher.hash_text(""))
+        result = ExecutableHashes(file_hash=file_hash, strings_hash=strings_hash,
+                                  symbols_hash=symbols_hash)
+        self.hashes_computed += 1
+        if self.cache_enabled:
+            self._cache[key] = result
+        return result
+
+    def script_hash(self, path: str) -> str:
+        """Fuzzy hash of a (Python) script file."""
+        metadata = self.filesystem.stat(path)
+        key = (path, metadata.mtime)
+        if self.cache_enabled:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached.file_hash
+        digest = str(self.hasher.hash(self.filesystem.read(path)))
+        self.hashes_computed += 1
+        if self.cache_enabled:
+            self._cache[key] = ExecutableHashes(digest, "", "")
+        return digest
+
+    # ------------------------------------------------------------------ #
+    # lists
+    # ------------------------------------------------------------------ #
+    def list_hash(self, items: list[str] | str) -> str:
+        """Fuzzy hash of a collected list (modules, objects, compilers, maps).
+
+        The same list contents recur for thousands of processes (every ``bash``
+        in the same environment loads the same objects), so results are
+        memoised by content up to :attr:`list_cache_limit` distinct entries.
+        """
+        text = items if isinstance(items, str) else "\n".join(items)
+        if self.cache_enabled:
+            cached = self._list_cache.get(text)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        digest = str(self.hasher.hash_text(text))
+        self.hashes_computed += 1
+        if self.cache_enabled and len(self._list_cache) < self.list_cache_limit:
+            self._list_cache[text] = digest
+        return digest
+
+    def clear_cache(self) -> None:
+        """Drop the memoisation caches."""
+        self._cache.clear()
+        self._list_cache.clear()

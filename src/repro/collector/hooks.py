@@ -1,0 +1,191 @@
+"""The ``siren.so`` constructor/destructor logic.
+
+:class:`SirenCollector` implements the :class:`~repro.hpcsim.process.PreloadHook`
+protocol.  When the simulated dynamic linker injects the SIREN library into a
+process (because the ``siren`` module put it on ``LD_PRELOAD``), the process
+runtime calls :meth:`on_process_start` at process start -- the equivalent of
+the library constructor -- and :meth:`on_process_end` at termination.
+
+The constructor classifies the process, applies the Table 1 policy, gathers
+the requested information and emits one UDP message per information type
+(chunked where necessary) through the fire-and-forget sender.  Every optional
+section is individually guarded: a failure to parse the executable or hash the
+script only loses that section, never the rest, and never the user process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collector.classify import (
+    ExecutableCategory,
+    classify_process,
+    extract_script_path,
+    is_python_interpreter,
+)
+from repro.collector.fuzzy import ArtifactHasher
+from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
+from repro.collector.records import InfoType, Layer, format_keyvalues
+from repro.elf.reader import ELFFile, is_elf
+from repro.hashing.xxhash import xxh128_hex
+from repro.hpcsim.filesystem import VirtualFilesystem
+from repro.hpcsim.process import ProcessContext
+from repro.transport.messages import UDPMessage
+from repro.transport.sender import UDPSender
+
+
+@dataclass
+class SirenCollector:
+    """Process-level data collection injected via ``LD_PRELOAD``."""
+
+    filesystem: VirtualFilesystem
+    sender: UDPSender
+    library_path: str
+    policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    hasher: ArtifactHasher = field(init=False)
+    processes_collected: int = 0
+    processes_skipped: int = 0
+    section_errors: int = 0
+
+    def __post_init__(self) -> None:
+        self.hasher = ArtifactHasher(self.filesystem)
+
+    # ------------------------------------------------------------------ #
+    # constructor
+    # ------------------------------------------------------------------ #
+    def on_process_start(self, context: ProcessContext) -> None:
+        """Collect and send all policy-selected information for this process."""
+        if not self.policy.should_collect_rank(context.slurm_procid):
+            self.processes_skipped += 1
+            return
+        category = classify_process(context.executable, context.argv)
+        scope = self.policy.for_category(category)
+        messages: list[UDPMessage] = []
+        header = self._header(context, Layer.SELF)
+
+        messages.append(header(InfoType.PROCINFO, format_keyvalues({
+            "pid": context.pid, "ppid": context.ppid, "uid": context.uid,
+            "gid": context.gid, "exe": context.executable, "category": category.value,
+        })))
+
+        if scope.file_metadata:
+            self._guard(messages, lambda: header(
+                InfoType.FILEMETA, self._file_metadata(context.executable)))
+        if scope.libraries:
+            objects = "\n".join(context.loaded_objects)
+            messages.append(header(InfoType.OBJECTS, objects))
+            self._guard(messages, lambda: header(
+                InfoType.OBJECTS_H, self.hasher.list_hash(objects)))
+        if scope.modules:
+            modules = context.loaded_modules
+            messages.append(header(InfoType.MODULES, modules))
+            self._guard(messages, lambda: header(
+                InfoType.MODULES_H, self.hasher.list_hash(modules)))
+        if scope.compilers:
+            self._guard(messages, lambda: self._compiler_messages(header, context))
+        if scope.memory_map:
+            maps_text = context.maps_text()
+            messages.append(header(InfoType.MAPS, maps_text))
+            self._guard(messages, lambda: header(
+                InfoType.MAPS_H, self.hasher.list_hash(maps_text)))
+        if scope.file_hash or scope.strings_hash or scope.symbols_hash:
+            self._guard(messages, lambda: self._executable_hash_messages(header, context, scope))
+
+        # Python input script (the SCRIPT layer) --------------------------- #
+        if is_python_interpreter(context.executable):
+            self._guard(messages, lambda: self._script_messages(context))
+
+        self.sender.send_all([message for message in messages if message is not None])
+        self.processes_collected += 1
+
+    # ------------------------------------------------------------------ #
+    # destructor
+    # ------------------------------------------------------------------ #
+    def on_process_end(self, context: ProcessContext) -> None:
+        """Send the destructor record (end timestamp, exit code)."""
+        if not self.policy.should_collect_rank(context.slurm_procid):
+            return
+        header = self._header(context, Layer.SELF)
+        self.sender.send(header(InfoType.PROCEND, format_keyvalues({
+            "end_time": context.end_time, "exit_code": context.exit_code,
+        })))
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _header(self, context: ProcessContext, layer: Layer):
+        """Return a message factory pre-filled with this process's header fields."""
+        path_hash = xxh128_hex(context.executable)
+
+        def make(info_type: InfoType, content: str,
+                 override_layer: Layer | None = None) -> UDPMessage:
+            return UDPMessage(
+                jobid=context.slurm_job_id,
+                stepid=context.slurm_step_id,
+                pid=context.pid,
+                path_hash=path_hash,
+                host=context.hostname,
+                time=context.start_time,
+                layer=override_layer or layer,
+                info_type=info_type,
+                content=content,
+            )
+
+        return make
+
+    def _guard(self, messages: list[UDPMessage], producer) -> None:
+        """Run one collection section; on failure count it and move on."""
+        try:
+            result = producer()
+        except Exception:  # noqa: BLE001 - graceful degradation by design
+            self.section_errors += 1
+            return
+        if result is None:
+            return
+        if isinstance(result, list):
+            messages.extend(result)
+        else:
+            messages.append(result)
+
+    def _file_metadata(self, path: str) -> str:
+        metadata = self.filesystem.stat(path)
+        return format_keyvalues(metadata.as_dict())
+
+    def _compiler_messages(self, header, context: ProcessContext) -> list[UDPMessage]:
+        content = self.filesystem.read(context.executable)
+        if not is_elf(content):
+            return []
+        comments = ";".join(ELFFile(content).comment_strings())
+        return [
+            header(InfoType.COMPILERS, comments),
+            header(InfoType.COMPILERS_H, self.hasher.list_hash(comments)),
+        ]
+
+    def _executable_hash_messages(self, header, context: ProcessContext, scope) -> list[UDPMessage]:
+        hashes = self.hasher.executable_hashes(context.executable)
+        messages: list[UDPMessage] = []
+        if scope.file_hash:
+            messages.append(header(InfoType.FILE_H, hashes.file_hash))
+        if scope.strings_hash:
+            messages.append(header(InfoType.STRINGS_H, hashes.strings_hash))
+        if scope.symbols_hash:
+            messages.append(header(InfoType.SYMBOLS_H, hashes.symbols_hash))
+        return messages
+
+    def _script_messages(self, context: ProcessContext) -> list[UDPMessage]:
+        script = context.python_script or extract_script_path(context.argv)
+        if not script or not self.filesystem.exists(script):
+            return []
+        scope = self.policy.python_script
+        header = self._header(context, Layer.SCRIPT)
+        messages: list[UDPMessage] = [
+            header(InfoType.PROCINFO, format_keyvalues({"script": script}),
+                   override_layer=Layer.SCRIPT),
+        ]
+        if scope.file_metadata:
+            messages.append(header(InfoType.FILEMETA, self._file_metadata(script),
+                                   override_layer=Layer.SCRIPT))
+        if scope.file_hash:
+            messages.append(header(InfoType.FILE_H, self.hasher.script_hash(script),
+                                   override_layer=Layer.SCRIPT))
+        return messages

@@ -1,0 +1,92 @@
+"""Selective-collection policy (Table 1 of the paper).
+
+Different executable categories warrant different amounts of collection: it
+is pointless to fuzzy-hash ``/usr/bin/bash`` on every invocation, while a user
+executable gets the full treatment.  The policy is expressed as a small
+matrix, constructed by default exactly as printed in Table 1:
+
+==============  =======  =====  ===========  ======
+Information     System   User   Interpreter  Script
+==============  =======  =====  ===========  ======
+File metadata    yes      yes    yes          yes
+Libraries        yes      yes    yes          no
+Modules          no       yes    no           no
+Compilers        no       yes    no           no
+Memory map       no       yes    yes          no
+File_H           no       yes    no           yes
+Strings_H        no       yes    no           no
+Symbols_H        no       yes    no           no
+==============  =======  =====  ===========  ======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collector.classify import ExecutableCategory
+
+
+@dataclass(frozen=True)
+class ScopePolicy:
+    """What to collect for one executable scope."""
+
+    file_metadata: bool = True
+    libraries: bool = False
+    modules: bool = False
+    compilers: bool = False
+    memory_map: bool = False
+    file_hash: bool = False
+    strings_hash: bool = False
+    symbols_hash: bool = False
+
+
+@dataclass(frozen=True)
+class CollectionPolicy:
+    """The full per-scope policy plus global switches."""
+
+    system: ScopePolicy = field(default_factory=lambda: ScopePolicy(
+        file_metadata=True, libraries=True,
+    ))
+    user: ScopePolicy = field(default_factory=lambda: ScopePolicy(
+        file_metadata=True, libraries=True, modules=True, compilers=True,
+        memory_map=True, file_hash=True, strings_hash=True, symbols_hash=True,
+    ))
+    python_interpreter: ScopePolicy = field(default_factory=lambda: ScopePolicy(
+        file_metadata=True, libraries=True, memory_map=True,
+    ))
+    python_script: ScopePolicy = field(default_factory=lambda: ScopePolicy(
+        file_metadata=True, file_hash=True,
+    ))
+    #: Collect only for SLURM_PROCID == 0 (avoid duplicating data per MPI rank).
+    rank_zero_only: bool = True
+
+    def for_category(self, category: ExecutableCategory) -> ScopePolicy:
+        """The scope policy applying to a process of the given category."""
+        if category is ExecutableCategory.SYSTEM:
+            return self.system
+        if category is ExecutableCategory.PYTHON:
+            return self.python_interpreter
+        return self.user
+
+    def should_collect_rank(self, procid: str | int) -> bool:
+        """True if a process with this ``SLURM_PROCID`` should be collected."""
+        if not self.rank_zero_only:
+            return True
+        try:
+            return int(procid) == 0
+        except (TypeError, ValueError):
+            # Outside a Slurm step (no SLURM_PROCID) everything is collected.
+            return True
+
+
+#: The paper's policy.
+DEFAULT_POLICY = CollectionPolicy()
+
+#: An "always collect everything" policy, used by the overhead ablation bench.
+FULL_POLICY = CollectionPolicy(
+    system=ScopePolicy(True, True, True, True, True, True, True, True),
+    user=ScopePolicy(True, True, True, True, True, True, True, True),
+    python_interpreter=ScopePolicy(True, True, True, True, True, True, True, True),
+    python_script=ScopePolicy(True, False, False, False, False, True, False, False),
+    rank_zero_only=False,
+)

@@ -1,0 +1,60 @@
+"""Message vocabulary of the collector.
+
+SIREN's UDP messages carry a ``LAYER`` (``SELF`` for the hooked process
+itself, ``SCRIPT`` for the Python input script of an interpreter process) and
+a ``TYPE`` describing what the ``CONTENT`` field holds.  The enumerations here
+are shared by the collector, the transport, the database schema and the
+post-processing code so that the string values never drift apart.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Layer(str, Enum):
+    """Which artefact a message describes."""
+
+    SELF = "SELF"       #: the hooked process / its executable
+    SCRIPT = "SCRIPT"   #: the Python input script of an interpreter process
+
+
+class InfoType(str, Enum):
+    """The kind of information carried in a message's CONTENT field."""
+
+    PROCINFO = "PROCINFO"        #: process identifiers and executable path
+    FILEMETA = "FILEMETA"        #: executable (or script) file metadata
+    MODULES = "MODULES"          #: value of LOADEDMODULES
+    MODULES_H = "MODULES_H"      #: fuzzy hash of the module list
+    OBJECTS = "OBJECTS"          #: loaded shared objects (libraries)
+    OBJECTS_H = "OBJECTS_H"      #: fuzzy hash of the object list
+    COMPILERS = "COMPILERS"      #: compiler identification strings (.comment)
+    COMPILERS_H = "COMPILERS_H"  #: fuzzy hash of the compiler list
+    MAPS = "MAPS"                #: memory-mapped regions (/proc/self/maps)
+    MAPS_H = "MAPS_H"            #: fuzzy hash of the memory map
+    FILE_H = "FILE_H"            #: fuzzy hash of the raw executable / script file
+    STRINGS_H = "STRINGS_H"      #: fuzzy hash of the printable strings
+    SYMBOLS_H = "SYMBOLS_H"      #: fuzzy hash of the global ELF symbols
+    PROCEND = "PROCEND"          #: destructor record (end timestamp, exit code)
+
+
+#: Message types whose CONTENT can be long and therefore gets chunked.
+CHUNKED_TYPES: frozenset[InfoType] = frozenset({
+    InfoType.MODULES, InfoType.OBJECTS, InfoType.MAPS, InfoType.COMPILERS,
+})
+
+
+def format_keyvalues(pairs: dict[str, object]) -> str:
+    """Render a ``key=value|key=value`` content string (the collector's format)."""
+    return "|".join(f"{key}={value}" for key, value in pairs.items())
+
+
+def parse_keyvalues(content: str) -> dict[str, str]:
+    """Parse a ``key=value|key=value`` content string back into a dict."""
+    result: dict[str, str] = {}
+    for part in content.split("|"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        result[key] = value
+    return result

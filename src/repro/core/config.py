@@ -1,0 +1,33 @@
+"""Configuration of a SIREN deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
+from repro.transport.messages import MAX_DATAGRAM_SIZE
+
+
+@dataclass(frozen=True)
+class SirenConfig:
+    """Deployment-level configuration.
+
+    Parameters
+    ----------
+    policy:
+        The selective-collection policy (defaults to the paper's Table 1).
+    loss_rate:
+        Probability of losing each UDP datagram (0 disables the lossy channel).
+    max_datagram_size:
+        Datagram budget used when chunking long contents.
+    store_path:
+        SQLite path; ``":memory:"`` keeps everything in RAM.
+    rng_seed:
+        Seed for the lossy channel's drop decisions.
+    """
+
+    policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    loss_rate: float = 0.0002
+    max_datagram_size: int = MAX_DATAGRAM_SIZE
+    store_path: str = ":memory:"
+    rng_seed: int = 7

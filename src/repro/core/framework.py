@@ -1,0 +1,94 @@
+"""The SIREN framework facade.
+
+One :class:`SirenFramework` instance corresponds to one deployment of SIREN on
+a system: it owns the message store, the transport channel, the receiver and
+the collector, can be deployed onto a simulated cluster (registering the
+``LD_PRELOAD`` hook), and consolidates whatever has been collected so far into
+per-process records ready for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collector.hooks import SirenCollector
+from repro.core.config import SirenConfig
+from repro.db.store import MessageStore, ProcessRecord
+from repro.hpcsim.cluster import Cluster
+from repro.postprocess.consolidate import Consolidator
+from repro.transport.channel import InMemoryChannel, LossyChannel
+from repro.transport.receiver import MessageReceiver
+from repro.transport.sender import UDPSender
+from repro.util.errors import CollectionError
+from repro.util.rng import SeededRNG
+
+
+@dataclass
+class SirenFramework:
+    """Collector + transport + database, wired together."""
+
+    config: SirenConfig = field(default_factory=SirenConfig)
+    store: MessageStore = field(init=False)
+    channel: LossyChannel | InMemoryChannel = field(init=False)
+    receiver: MessageReceiver = field(init=False)
+    sender: UDPSender = field(init=False)
+    collector: SirenCollector | None = None
+    cluster: Cluster | None = None
+
+    def __post_init__(self) -> None:
+        self.store = MessageStore(self.config.store_path)
+        if self.config.loss_rate > 0:
+            self.channel = LossyChannel(loss_rate=self.config.loss_rate,
+                                        rng=SeededRNG(self.config.rng_seed))
+        else:
+            self.channel = InMemoryChannel()
+        self.receiver = MessageReceiver(self.store)
+        self.receiver.attach(self.channel)
+        self.sender = UDPSender(self.channel, max_datagram_size=self.config.max_datagram_size)
+
+    # ------------------------------------------------------------------ #
+    # deployment
+    # ------------------------------------------------------------------ #
+    def deploy(self, cluster: Cluster, *, siren_library_path: str) -> SirenCollector:
+        """Register the collection hook on ``cluster`` and return the collector.
+
+        ``siren_library_path`` must point at the installed ``siren.so`` on the
+        cluster's filesystem (the corpus builder installs it and exposes the
+        path through its manifest).
+        """
+        if self.collector is not None:
+            raise CollectionError("this framework instance is already deployed")
+        self.collector = SirenCollector(
+            filesystem=cluster.filesystem,
+            sender=self.sender,
+            library_path=siren_library_path,
+            policy=self.config.policy,
+        )
+        cluster.register_preload_hook(self.collector)
+        self.cluster = cluster
+        return self.collector
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+    def consolidate(self, *, clear_messages: bool = False) -> list[ProcessRecord]:
+        """Flush the receiver and consolidate everything collected so far."""
+        self.receiver.flush()
+        return Consolidator(self.store).run(clear_messages=clear_messages)
+
+    def statistics(self) -> dict[str, float]:
+        """Operational counters of the deployment."""
+        stats: dict[str, float] = {
+            "messages_received": self.receiver.messages_received,
+            "decode_errors": self.receiver.decode_errors,
+            "datagrams_sent": self.sender.datagrams_sent,
+            "send_errors": self.sender.send_errors,
+        }
+        if isinstance(self.channel, LossyChannel):
+            stats["datagrams_dropped"] = self.channel.datagrams_dropped
+            stats["observed_loss_rate"] = self.channel.observed_loss_rate
+        if self.collector is not None:
+            stats["processes_collected"] = self.collector.processes_collected
+            stats["processes_skipped"] = self.collector.processes_skipped
+            stats["section_errors"] = self.collector.section_errors
+        return stats

@@ -1,0 +1,303 @@
+"""Scientific software packages of the synthetic corpus.
+
+Each :class:`PackageSpec` describes one software product the way the paper's
+user community uses it (Table 5 / Figures 4-5): which compilers build it,
+which shared libraries it links, what its public symbols and embedded strings
+look like, and which concrete *variants* (versions, compiler mixes, small
+source patches, install paths) exist on the system.
+
+Variant counts follow the relative structure of Table 5 (GROMACS: a single
+executable shared by two users; icon: many distinct executables of a single
+user; LAMMPS/miniconda: a handful of variants), scaled down from the paper's
+absolute numbers -- the similarity analyses only need several variants per
+package, not 175.
+
+The special ``UNKNOWN`` case of Table 7 is realised exactly as the paper
+describes it: a byte-identical copy of one ICON executable installed under a
+nondescript path/file name (``a.out``), plus progressively more different ICON
+variants, so the similarity search recovers the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One concrete executable variant of a package."""
+
+    variant_id: str
+    version: str
+    compilers: tuple[str, ...]
+    extra_library_keys: tuple[str, ...] = ()
+    drop_library_keys: tuple[str, ...] = ()
+    patch_level: int = 0          #: number of synthetic source patches applied
+    filename: str | None = None   #: override the executable file name
+    subdir: str = ""              #: extra directory component under the install root
+    text_size: int = 12288
+    copy_of: str | None = None    #: variant_id this one is a byte-identical copy of
+
+    def library_keys(self, base: tuple[str, ...]) -> tuple[str, ...]:
+        """Effective library keys: base minus drops plus extras (order kept)."""
+        kept = [key for key in base if key not in self.drop_library_keys]
+        kept.extend(key for key in self.extra_library_keys if key not in kept)
+        return tuple(kept)
+
+
+@dataclass(frozen=True)
+class PackageSpec:
+    """One software package (a "software label" in the paper's terminology)."""
+
+    name: str                       #: canonical software label (LAMMPS, GROMACS, ...)
+    domain: str                     #: scientific domain, for documentation/reports
+    install_root: str               #: directory template; ``{user}`` is substituted
+    executable_stem: str            #: base file name of the executable
+    base_library_keys: tuple[str, ...]
+    public_functions: tuple[str, ...]
+    public_objects: tuple[str, ...] = ()
+    strings: tuple[str, ...] = ()
+    source_lines: int = 64
+    variants: tuple[VariantSpec, ...] = field(default_factory=tuple)
+
+    def variant(self, variant_id: str) -> VariantSpec:
+        """Look up a variant by id."""
+        for candidate in self.variants:
+            if candidate.variant_id == variant_id:
+                return candidate
+        raise KeyError(f"{self.name} has no variant {variant_id!r}")
+
+
+def _functions(stem: str, names: tuple[str, ...], generated: int = 24) -> tuple[str, ...]:
+    """Explicit public functions plus a tail of generated kernel symbols."""
+    return names + tuple(f"{stem}_kernel_{index:02d}" for index in range(generated))
+
+
+# --------------------------------------------------------------------------- #
+# package definitions
+# --------------------------------------------------------------------------- #
+_ROCM_STACK = ("rocm", "rocm-blas", "rocsolver-rocm", "rocsparse-rocm",
+               "rocm-fft", "rocfft-rocm-fft", "MIOpen-rocm")
+_CRAY_BASE = ("cray", "libsci-cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+              "pthread", "libc", "libm")
+
+LAMMPS = PackageSpec(
+    name="LAMMPS",
+    domain="molecular dynamics",
+    install_root="/project/{project}/{user}/lammps",
+    executable_stem="lmp",
+    base_library_keys=_CRAY_BASE + _ROCM_STACK + ("fft-cray", "numa", "drm", "amdgpu-drm"),
+    public_functions=_functions("lammps", (
+        "lammps_open", "lammps_close", "lammps_command", "lammps_extract_atom",
+        "pair_lj_cut_compute", "fix_nve_integrate", "neighbor_build", "verlet_run",
+    )),
+    public_objects=("lammps_version_string", "lmp_universe"),
+    strings=(
+        "LAMMPS (%s)", "Large-scale Atomic/Molecular Massively Parallel Simulator",
+        "usage: lmp -in <input> [-log <log>]", "Total wall time: %d:%02d:%02d",
+    ),
+    variants=(
+        VariantSpec("gpu-2023", "23Aug2023", ("GCC [SUSE]", "LLD [AMD]"), patch_level=0),
+        VariantSpec("gpu-2024", "27Jun2024", ("GCC [SUSE]", "LLD [AMD]"), patch_level=2),
+        VariantSpec("kokkos", "27Jun2024", ("LLD [AMD]",), patch_level=4,
+                    extra_library_keys=("rocm-torch", "numa-rocm-torch"),
+                    drop_library_keys=("numa",)),
+        VariantSpec("ml-torch", "27Jun2024", ("GCC [SUSE]", "LLD [AMD]"), patch_level=6,
+                    extra_library_keys=("torch-tykky", "numa-torch-tykky"),
+                    drop_library_keys=("numa",)),
+        VariantSpec("cpu-only", "23Aug2023", ("GCC [SUSE]",), patch_level=8,
+                    drop_library_keys=_ROCM_STACK + ("drm", "amdgpu-drm")),
+    ),
+)
+
+GROMACS = PackageSpec(
+    name="GROMACS",
+    domain="molecular dynamics",
+    install_root="/appl/local/csc/soft/bio/gromacs/2024.1",
+    executable_stem="gmx_mpi",
+    base_library_keys=_CRAY_BASE + ("rocm", "numa", "drm", "amdgpu-drm", "fortran",
+                                    "gromacs", "boost"),
+    public_functions=_functions("gmx", (
+        "gmx_mdrun", "gmx_grompp", "gmx_energy", "gmx_trjconv",
+        "nbnxn_kernel_simd", "pme_spread_and_solve", "do_force_lowlevel",
+    )),
+    public_objects=("gmx_version", "gmx_build_configuration"),
+    strings=(
+        "GROMACS - gmx mdrun, 2024.1", ":-) GROMACS - gmx, 2024.1 (-:",
+        "Copyright (c) 2001-2024, the GROMACS development team",
+    ),
+    variants=(
+        # A single shared installation used by several users (Table 5: one FILE_H).
+        VariantSpec("shared-2024", "2024.1", ("LLD [AMD]",), patch_level=0),
+    ),
+)
+
+MINICONDA = PackageSpec(
+    name="miniconda",
+    domain="python distribution",
+    install_root="/project/{project}/{user}/miniconda3",
+    executable_stem="conda-exec",
+    base_library_keys=("pthread", "libc", "libz"),
+    public_functions=_functions("conda", (
+        "conda_activate", "conda_solve", "repodata_fetch", "package_cache_query",
+    ), generated=12),
+    strings=("conda 24.1.2", "miniconda3 installer payload", "https://repo.anaconda.com"),
+    variants=(
+        VariantSpec("py310", "24.1.2", ("GCC [Red Hat]", "GCC [conda]"), patch_level=0,
+                    filename="python3.10", subdir="bin"),
+        VariantSpec("py311", "24.1.2", ("GCC [Red Hat]", "GCC [conda]"), patch_level=2,
+                    filename="python3.11", subdir="bin"),
+        VariantSpec("solver", "24.1.2", ("GCC [Red Hat]", "GCC [conda]", "rustc"),
+                    patch_level=3, filename="conda-libmamba-solver", subdir="libexec"),
+        VariantSpec("pip-tool", "24.1.2", ("GCC [Red Hat]", "GCC [conda]"), patch_level=5,
+                    filename="pip-compiled", subdir="bin"),
+        VariantSpec("py310-update", "24.3.0", ("GCC [Red Hat]", "GCC [conda]"),
+                    patch_level=1, filename="python3.10-new", subdir="bin"),
+    ),
+)
+
+JANKO = PackageSpec(
+    name="janko",
+    domain="lattice QCD",
+    install_root="/project/{project}/{user}/janko",
+    executable_stem="janko",
+    base_library_keys=("cray", "libsci-cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+                       "pthread", "libc", "libm", "fortran", "spack", "blas-spack",
+                       "numa-spack", "rocsolver-spack", "rocsparse-spack", "drm-spack",
+                       "amdgpu-drm-spack"),
+    public_functions=_functions("janko", (
+        "janko_init", "janko_sweep", "dirac_operator_apply", "hmc_trajectory",
+    ), generated=16),
+    strings=("janko lattice suite v2.3", "plaquette = %0.8f"),
+    variants=(
+        VariantSpec("prod", "2.3", ("GCC [SUSE]", "GCC [HPE]"), patch_level=0),
+        VariantSpec("devel", "2.4-dev", ("GCC [SUSE]", "GCC [HPE]"), patch_level=3),
+    ),
+)
+
+ICON = PackageSpec(
+    name="icon",
+    domain="climate and weather simulation",
+    install_root="/project/{project}/{user}/icon-model",
+    executable_stem="icon",
+    base_library_keys=("cray", "libsci-cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+                       "pthread", "libc", "libm", "fortran", "craymath-cray",
+                       "netcdf-cray", "hdf5-cray", "climatedt", "climatedt-yaml",
+                       "rocm", "numa", "drm", "amdgpu-drm", "amdgpu-cray", "openacc-cray"),
+    public_functions=_functions("icon", (
+        "icon_init_mpi", "icon_run_timeloop", "mo_atmo_nonhydrostatic_run",
+        "mo_nh_stepping_integrate", "radiation_ecrad_interface", "ocean_model_step",
+        "nudging_apply", "output_nml_write",
+    ), generated=32),
+    public_objects=("icon_version_tag", "icon_grid_descriptor"),
+    strings=(
+        "ICON atmosphere model", "Destination Earth Climate Digital Twin workflow",
+        "read namelist file icon_master.namelist", "timer report: total integration",
+    ),
+    source_lines=96,
+    variants=(
+        VariantSpec("cray-r1", "2024.07", ("GCC [SUSE]", "clang [Cray]"), patch_level=0),
+        VariantSpec("cray-r2", "2024.07", ("GCC [SUSE]", "clang [Cray]"), patch_level=1),
+        VariantSpec("cray-r3", "2024.10", ("GCC [SUSE]", "clang [Cray]"), patch_level=3),
+        VariantSpec("cray-r4", "2024.10", ("GCC [SUSE]", "clang [Cray]"), patch_level=5),
+        VariantSpec("gpu-amd-r1", "2024.10", ("GCC [SUSE]", "clang [Cray]", "clang [AMD]"),
+                    patch_level=2, drop_library_keys=("netcdf-cray", "hdf5-cray",
+                                                      "climatedt-yaml")),
+        VariantSpec("gpu-amd-r2", "2024.10", ("GCC [SUSE]", "clang [Cray]", "clang [AMD]"),
+                    patch_level=4, drop_library_keys=("netcdf-cray", "hdf5-cray",
+                                                      "climatedt-yaml")),
+        VariantSpec("ocean-only", "2024.07", ("GCC [SUSE]", "clang [Cray]"), patch_level=7,
+                    filename="icon_ocean"),
+        VariantSpec("atmo-only", "2024.07", ("GCC [SUSE]", "clang [Cray]"), patch_level=9,
+                    filename="icon_atmo"),
+        VariantSpec("coupler", "2024.10", ("GCC [SUSE]", "clang [Cray]"), patch_level=11,
+                    filename="icon_coupler"),
+        VariantSpec("pre-proc", "2024.10", ("GCC [SUSE]", "clang [Cray]"), patch_level=13,
+                    filename="icon_gridtools"),
+        # The Table 7 UNKNOWN case: a byte-identical copy of cray-r1 placed at a
+        # nondescript path with a nondescript name.  A subdir starting with "/"
+        # overrides the install root entirely (see CorpusBuilder).
+        VariantSpec("unknown-copy", "2024.07", ("GCC [SUSE]", "clang [Cray]"), patch_level=0,
+                    filename="a.out", subdir="/scratch/{project}/{user}/run_tmp/exp_042",
+                    copy_of="cray-r1"),
+        # A second nondescript executable, lightly patched relative to the
+        # known releases (its patch level sits between cray-r2 and cray-r3).
+        VariantSpec("unknown-patched", "2024.07", ("GCC [SUSE]", "clang [Cray]"),
+                    patch_level=2, filename="model.x",
+                    subdir="/scratch/{project}/{user}/run_tmp/exp_043"),
+    ),
+)
+
+AMBER = PackageSpec(
+    name="amber",
+    domain="biomolecular simulation",
+    install_root="/project/{project}/{user}/amber22",
+    executable_stem="pmemd.hip",
+    base_library_keys=_CRAY_BASE + _ROCM_STACK + ("fft-cray", "numa", "drm", "amdgpu-drm",
+                                                  "fortran", "netcdf-cray",
+                                                  "netcdf-parallel-cray", "hdf5-parallel-cray",
+                                                  "hdf5-fortran-parallel-cray", "amber",
+                                                  "cuda-amber"),
+    public_functions=_functions("amber", (
+        "pmemd_run_md", "sander_energy_minimise", "gb_force_kernel", "pme_recip_force",
+    ), generated=20),
+    strings=("Amber 22 PMEMD implementation", "| Run on %s at %s"),
+    variants=(
+        VariantSpec("hip", "22.0", ("GCC [SUSE]", "clang [AMD]"), patch_level=0),
+        VariantSpec("hip-patch3", "22.3", ("GCC [SUSE]", "clang [AMD]"), patch_level=2),
+    ),
+)
+
+GZIP_USER = PackageSpec(
+    name="gzip",
+    domain="compression utility",
+    install_root="/users/{user}/tools/gzip-1.13",
+    executable_stem="gzip",
+    base_library_keys=("libc",),
+    public_functions=_functions("gzip", ("deflate_stream", "inflate_stream", "crc32_update"),
+                                generated=6),
+    strings=("gzip 1.13", "usage: gzip [-cdfhklLnNrtvV19] [file ...]"),
+    variants=(
+        VariantSpec("user-build", "1.13", ("LLD [AMD]",), patch_level=0, subdir="bin"),
+    ),
+)
+
+ALEXANDRIA = PackageSpec(
+    name="alexandria",
+    domain="force-field development",
+    install_root="/project/{project}/{user}/alexandria",
+    executable_stem="alexandria",
+    base_library_keys=("cray", "quadmath-cray", "fabric-cray", "pmi-cray", "pthread",
+                       "libc", "libm", "fortran", "craymath-cray"),
+    public_functions=_functions("alexandria", ("alexandria_tune_eem", "alexandria_min_complex"),
+                                generated=10),
+    strings=("Alexandria Chemistry Toolkit",),
+    variants=(
+        VariantSpec("v1", "1.0", ("GCC [SUSE]",), patch_level=0),
+    ),
+)
+
+RADRAD = PackageSpec(
+    name="RadRad",
+    domain="radiative transfer",
+    install_root="/project/{project}/{user}/RadRad",
+    executable_stem="RadRad",
+    base_library_keys=("cray", "libsci-cray", "quadmath-cray", "pthread", "libc", "libm",
+                       "fortran", "craymath-cray", "rocm", "rocm-blas", "rocsolver-rocm",
+                       "rocsparse-rocm", "numa", "drm", "amdgpu-drm", "amdgpu-cray",
+                       "openacc-cray"),
+    public_functions=_functions("radrad", ("radrad_solve_band", "radrad_setup_grid"),
+                                generated=12),
+    strings=("RadRad radiative transfer solver",),
+    variants=(
+        VariantSpec("cpu", "0.9", ("GCC [SUSE]", "clang [Cray]"), patch_level=0),
+        VariantSpec("gpu", "0.9", ("GCC [SUSE]", "clang [Cray]"), patch_level=2),
+    ),
+)
+
+#: All packages, in the presentation order of Table 5.
+PACKAGES: tuple[PackageSpec, ...] = (
+    LAMMPS, GROMACS, MINICONDA, JANKO, ICON, AMBER, GZIP_USER, ALEXANDRIA, RADRAD,
+)
+
+PACKAGES_BY_NAME: dict[str, PackageSpec] = {package.name: package for package in PACKAGES}

@@ -1,0 +1,130 @@
+"""Python interpreters, importable packages and their native extensions.
+
+Python is a special case for SIREN (Section 4.4): the process-level view only
+sees the interpreter executable, so the collector additionally records the
+memory-mapped files of the interpreter and the post-processing step extracts
+the imported packages from the mapped native-extension modules, plus the fuzzy
+hash and metadata of the input script.
+
+This module defines the interpreters observed in the paper's Table 8
+(python3.6, python3.10, python3.11 -- all installed under system directories)
+and the package vocabulary of Figure 3, each package mapped to the native
+extension file an import would map into the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PythonInterpreterSpec:
+    """One installed Python interpreter."""
+
+    name: str                 #: executable name, e.g. ``python3.10``
+    directory: str            #: installation directory (a system directory)
+    version: str              #: full version string
+    library_keys: tuple[str, ...] = ("libc", "libm", "pthread", "libdl", "python")
+    text_size: int = 3072
+
+    @property
+    def path(self) -> str:
+        """Full executable path."""
+        return f"{self.directory}/{self.name}"
+
+    @property
+    def short_version(self) -> str:
+        """``3.10``-style version used in library paths."""
+        return ".".join(self.version.split(".")[:2])
+
+    @property
+    def lib_dynload(self) -> str:
+        """Directory holding the stdlib native extension modules."""
+        return f"/usr/lib64/python{self.short_version}/lib-dynload"
+
+    @property
+    def site_packages(self) -> str:
+        """Directory holding third-party packages."""
+        return f"/usr/lib64/python{self.short_version}/site-packages"
+
+
+#: The three interpreters of Table 8.
+PYTHON_INTERPRETERS: tuple[PythonInterpreterSpec, ...] = (
+    PythonInterpreterSpec(name="python3.6", directory="/usr/bin", version="3.6.15"),
+    PythonInterpreterSpec(name="python3.10", directory="/usr/bin", version="3.10.13"),
+    PythonInterpreterSpec(name="python3.11", directory="/opt/python/3.11.5/bin",
+                          version="3.11.5"),
+)
+
+PYTHON_INTERPRETERS_BY_NAME: dict[str, PythonInterpreterSpec] = {
+    spec.name: spec for spec in PYTHON_INTERPRETERS
+}
+
+
+@dataclass(frozen=True)
+class PythonPackageSpec:
+    """One importable package with a native extension module."""
+
+    name: str                 #: canonical package name as reported in Figure 3
+    kind: str                 #: ``stdlib`` or ``site``
+    extension_stem: str       #: file stem of the native module (before .cpython-XY.so)
+    subdir: str = ""          #: package subdirectory under site-packages
+
+    def extension_path(self, interpreter: PythonInterpreterSpec) -> str:
+        """Path of the native extension as mapped into the given interpreter."""
+        tag = interpreter.short_version.replace(".", "")
+        filename = f"{self.extension_stem}.cpython-{tag}-x86_64-linux-gnu.so"
+        if self.kind == "stdlib":
+            return f"{interpreter.lib_dynload}/{filename}"
+        base = f"{interpreter.site_packages}/{self.name}"
+        return f"{base}/{self.subdir}/{filename}" if self.subdir else f"{base}/{filename}"
+
+
+def _stdlib(name: str, stem: str | None = None) -> PythonPackageSpec:
+    return PythonPackageSpec(name=name, kind="stdlib", extension_stem=stem or f"_{name}")
+
+
+def _site(name: str, stem: str, subdir: str = "") -> PythonPackageSpec:
+    return PythonPackageSpec(name=name, kind="site", extension_stem=stem, subdir=subdir)
+
+
+#: The package vocabulary of Figure 3 (36 packages).
+PYTHON_PACKAGES: tuple[PythonPackageSpec, ...] = (
+    _stdlib("heapq"), _stdlib("struct"), _stdlib("math", "math"),
+    _stdlib("posixsubprocess"), _stdlib("select", "select"), _stdlib("blake2"),
+    _stdlib("hashlib"), _stdlib("bz2"), _stdlib("lzma"), _stdlib("zlib", "zlib"),
+    _stdlib("fcntl", "fcntl"), _stdlib("array", "array"), _stdlib("binascii", "binascii"),
+    _stdlib("bisect"), _stdlib("cmath", "cmath"), _stdlib("csv"), _stdlib("ctypes"),
+    _stdlib("datetime"), _stdlib("decimal"), _stdlib("grp", "grp"), _stdlib("json"),
+    _stdlib("mmap", "mmap"), _stdlib("multiprocessing"), _stdlib("opcode"),
+    _stdlib("pickle"), _stdlib("queue"), _stdlib("random"), _stdlib("sha512"),
+    _stdlib("socket", "_socket"), _stdlib("unicodedata", "unicodedata"),
+    _stdlib("zoneinfo"), _stdlib("sha3"),
+    _site("mpi4py", "MPI"), _site("numpy", "_multiarray_umath", subdir="core"),
+    _site("pandas", "algos", subdir="_libs"), _site("scipy", "_ufuncs", subdir="special"),
+)
+
+PYTHON_PACKAGES_BY_NAME: dict[str, PythonPackageSpec] = {
+    spec.name: spec for spec in PYTHON_PACKAGES
+}
+
+#: Packages imported by essentially every script (Figure 3's "basic components").
+COMMON_PACKAGES: tuple[str, ...] = (
+    "heapq", "struct", "math", "posixsubprocess", "select", "blake2", "hashlib",
+)
+
+#: More specialised packages, imported only by a subset of scripts.
+SPECIALISED_PACKAGES: tuple[str, ...] = tuple(
+    spec.name for spec in PYTHON_PACKAGES if spec.name not in COMMON_PACKAGES
+)
+
+
+def extension_paths(interpreter_name: str, packages: list[str]) -> list[str]:
+    """Mapped-file paths for importing ``packages`` under ``interpreter_name``."""
+    interpreter = PYTHON_INTERPRETERS_BY_NAME[interpreter_name]
+    paths: list[str] = []
+    for package in packages:
+        spec = PYTHON_PACKAGES_BY_NAME.get(package)
+        if spec is not None:
+            paths.append(spec.extension_path(interpreter))
+    return paths

@@ -1,0 +1,6 @@
+"""SQLite storage for SIREN messages and consolidated process records."""
+
+from repro.db.schema import MESSAGES_SCHEMA, PROCESSES_SCHEMA
+from repro.db.store import MessageStore
+
+__all__ = ["MessageStore", "MESSAGES_SCHEMA", "PROCESSES_SCHEMA"]

@@ -1,0 +1,64 @@
+"""Database schema.
+
+The raw ``messages`` table mirrors the UDP header columns listed in the paper
+(JOBID, STEPID, PID, HASH, HOST, TIME, LAYER, TYPE, CONTENT) plus the chunk
+counters.  The ``processes`` table holds the post-processed, consolidated
+one-row-per-process records the analysis layer works on.
+"""
+
+MESSAGES_SCHEMA = """
+CREATE TABLE IF NOT EXISTS messages (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    jobid       TEXT NOT NULL,
+    stepid      TEXT NOT NULL,
+    pid         INTEGER NOT NULL,
+    hash        TEXT NOT NULL,
+    host        TEXT NOT NULL,
+    time        INTEGER NOT NULL,
+    layer       TEXT NOT NULL,
+    type        TEXT NOT NULL,
+    chunk_index INTEGER NOT NULL DEFAULT 0,
+    chunk_total INTEGER NOT NULL DEFAULT 1,
+    content     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_messages_process
+    ON messages (jobid, stepid, pid, hash, host, time);
+CREATE INDEX IF NOT EXISTS idx_messages_type ON messages (type);
+"""
+
+PROCESSES_SCHEMA = """
+CREATE TABLE IF NOT EXISTS processes (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    jobid         TEXT NOT NULL,
+    stepid        TEXT NOT NULL,
+    pid           INTEGER NOT NULL,
+    hash          TEXT NOT NULL,
+    host          TEXT NOT NULL,
+    time          INTEGER NOT NULL,
+    uid           INTEGER,
+    gid           INTEGER,
+    ppid          INTEGER,
+    executable    TEXT,
+    category      TEXT,
+    file_metadata TEXT,
+    modules       TEXT,
+    modules_h     TEXT,
+    objects       TEXT,
+    objects_h     TEXT,
+    compilers     TEXT,
+    compilers_h   TEXT,
+    maps          TEXT,
+    maps_h        TEXT,
+    file_h        TEXT,
+    strings_h     TEXT,
+    symbols_h     TEXT,
+    script_path   TEXT,
+    script_h      TEXT,
+    script_meta   TEXT,
+    python_packages TEXT,
+    incomplete    INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_processes_job ON processes (jobid);
+CREATE INDEX IF NOT EXISTS idx_processes_exe ON processes (executable);
+CREATE INDEX IF NOT EXISTS idx_processes_category ON processes (category);
+"""

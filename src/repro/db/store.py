@@ -1,0 +1,174 @@
+"""SQLite-backed storage for raw messages and consolidated process records.
+
+The store is intentionally close to the paper's description: one table of raw
+UDP messages keyed by the header columns, and (after post-processing) one
+table with a single consolidated row per process.  An in-memory database is
+the default; pass a path to persist to disk.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, fields
+from typing import Iterable, Iterator
+
+from repro.db.schema import MESSAGES_SCHEMA, PROCESSES_SCHEMA
+from repro.transport.messages import UDPMessage
+
+
+@dataclass
+class ProcessRecord:
+    """One consolidated per-process record (the unit of all analyses)."""
+
+    jobid: str
+    stepid: str
+    pid: int
+    hash: str
+    host: str
+    time: int
+    uid: int | None = None
+    gid: int | None = None
+    ppid: int | None = None
+    executable: str = ""
+    category: str = ""
+    file_metadata: str = ""
+    modules: str = ""
+    modules_h: str = ""
+    objects: str = ""
+    objects_h: str = ""
+    compilers: str = ""
+    compilers_h: str = ""
+    maps: str = ""
+    maps_h: str = ""
+    file_h: str = ""
+    strings_h: str = ""
+    symbols_h: str = ""
+    script_path: str = ""
+    script_h: str = ""
+    script_meta: str = ""
+    python_packages: str = ""
+    incomplete: int = 0
+
+    @property
+    def object_list(self) -> list[str]:
+        """Loaded shared objects as a list."""
+        return [item for item in self.objects.split("\n") if item]
+
+    @property
+    def compiler_list(self) -> list[str]:
+        """Compiler identification strings as a list."""
+        return [item for item in self.compilers.split(";") if item]
+
+    @property
+    def module_list(self) -> list[str]:
+        """Loaded modules as a list."""
+        return [item for item in self.modules.split(":") if item]
+
+    @property
+    def python_package_list(self) -> list[str]:
+        """Imported Python packages as a list."""
+        return [item for item in self.python_packages.split(",") if item]
+
+    @property
+    def executable_name(self) -> str:
+        """Base name of the executable."""
+        return self.executable.rsplit("/", 1)[-1]
+
+
+_PROCESS_FIELDS = [f.name for f in fields(ProcessRecord)]
+
+
+class MessageStore:
+    """SQLite wrapper holding the ``messages`` and ``processes`` tables."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        self.connection.executescript(MESSAGES_SCHEMA)
+        self.connection.executescript(PROCESSES_SCHEMA)
+        self.connection.execute("PRAGMA synchronous=OFF")
+        self.connection.execute("PRAGMA journal_mode=MEMORY")
+
+    # ------------------------------------------------------------------ #
+    # raw messages
+    # ------------------------------------------------------------------ #
+    def insert(self, message: UDPMessage) -> None:
+        """Insert one raw message."""
+        self.insert_many([message])
+
+    def insert_many(self, messages: Iterable[UDPMessage]) -> int:
+        """Insert a batch of raw messages; returns how many were inserted."""
+        rows = [
+            (
+                message.jobid, message.stepid, message.pid, message.path_hash,
+                message.host, message.time, message.layer.value, message.info_type.value,
+                message.chunk_index, message.chunk_total, message.content,
+            )
+            for message in messages
+        ]
+        with self.connection:
+            self.connection.executemany(
+                "INSERT INTO messages (jobid, stepid, pid, hash, host, time, layer, type,"
+                " chunk_index, chunk_total, content) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                rows,
+            )
+        return len(rows)
+
+    def message_count(self) -> int:
+        """Total number of raw messages stored."""
+        cursor = self.connection.execute("SELECT COUNT(*) FROM messages")
+        return int(cursor.fetchone()[0])
+
+    def iter_messages(self) -> Iterator[tuple]:
+        """Iterate over raw message rows in process order."""
+        cursor = self.connection.execute(
+            "SELECT jobid, stepid, pid, hash, host, time, layer, type, chunk_index,"
+            " chunk_total, content FROM messages"
+            " ORDER BY jobid, stepid, pid, hash, time, type, chunk_index"
+        )
+        yield from cursor
+
+    def clear_messages(self) -> None:
+        """Delete all raw messages (used after consolidation to save memory)."""
+        with self.connection:
+            self.connection.execute("DELETE FROM messages")
+
+    # ------------------------------------------------------------------ #
+    # consolidated processes
+    # ------------------------------------------------------------------ #
+    def insert_processes(self, records: Iterable[ProcessRecord]) -> int:
+        """Insert consolidated per-process records."""
+        columns = ", ".join(_PROCESS_FIELDS)
+        placeholders = ", ".join("?" for _ in _PROCESS_FIELDS)
+        rows = [tuple(getattr(record, name) for name in _PROCESS_FIELDS) for record in records]
+        with self.connection:
+            self.connection.executemany(
+                f"INSERT INTO processes ({columns}) VALUES ({placeholders})", rows
+            )
+        return len(rows)
+
+    def process_count(self) -> int:
+        """Total number of consolidated process records."""
+        cursor = self.connection.execute("SELECT COUNT(*) FROM processes")
+        return int(cursor.fetchone()[0])
+
+    def iter_processes(self) -> Iterator[ProcessRecord]:
+        """Iterate over consolidated process records."""
+        columns = ", ".join(_PROCESS_FIELDS)
+        cursor = self.connection.execute(f"SELECT {columns} FROM processes")
+        for row in cursor:
+            yield ProcessRecord(**dict(zip(_PROCESS_FIELDS, row)))
+
+    def load_processes(self) -> list[ProcessRecord]:
+        """All consolidated process records as a list."""
+        return list(self.iter_processes())
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "MessageStore":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -1,0 +1,90 @@
+"""ELF constants (the subset needed by the builder, reader and collector).
+
+Names and values follow the System V ABI / ``<elf.h>``.
+"""
+
+from __future__ import annotations
+
+# --- e_ident ---------------------------------------------------------------
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1  # little endian
+EV_CURRENT = 1
+ELFOSABI_SYSV = 0
+
+# --- e_type ----------------------------------------------------------------
+ET_NONE = 0
+ET_REL = 1
+ET_EXEC = 2
+ET_DYN = 3
+
+# --- e_machine -------------------------------------------------------------
+EM_X86_64 = 62
+EM_AARCH64 = 183
+
+# --- section header types ----------------------------------------------------
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOTE = 7
+SHT_NOBITS = 8
+SHT_DYNAMIC = 6
+SHT_DYNSYM = 11
+
+# --- section flags -----------------------------------------------------------
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+SHF_MERGE = 0x10
+SHF_STRINGS = 0x20
+
+# --- symbol binding / type ---------------------------------------------------
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STB_WEAK = 2
+
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+STT_FILE = 4
+
+SHN_UNDEF = 0
+
+# --- dynamic tags ------------------------------------------------------------
+DT_NULL = 0
+DT_NEEDED = 1
+DT_STRTAB = 5
+DT_SYMTAB = 6
+DT_SONAME = 14
+DT_RPATH = 15
+DT_RUNPATH = 29
+
+# --- struct sizes ------------------------------------------------------------
+EHDR_SIZE = 64
+SHDR_SIZE = 64
+PHDR_SIZE = 56
+SYM_SIZE = 24
+DYN_SIZE = 16
+
+# --- program header types ----------------------------------------------------
+PT_NULL = 0
+PT_LOAD = 1
+PT_DYNAMIC = 2
+PT_INTERP = 3
+
+
+def st_info(binding: int, symbol_type: int) -> int:
+    """Pack symbol binding and type into the ``st_info`` byte."""
+    return ((binding & 0xF) << 4) | (symbol_type & 0xF)
+
+
+def st_bind(info: int) -> int:
+    """Extract the binding from an ``st_info`` byte."""
+    return info >> 4
+
+
+def st_type(info: int) -> int:
+    """Extract the type from an ``st_info`` byte."""
+    return info & 0xF

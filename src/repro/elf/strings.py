@@ -1,0 +1,35 @@
+"""Printable-string extraction (the ``strings(1)`` equivalent).
+
+SIREN fuzzy-hashes "the printable strings found in the file (similar to the
+output of the strings command)".  :func:`extract_strings` reproduces the
+classic behaviour: runs of at least ``min_length`` printable ASCII characters,
+terminated by any non-printable byte.
+"""
+
+from __future__ import annotations
+
+#: Bytes considered printable by ``strings``: ASCII 0x20-0x7E plus tab.
+_PRINTABLE = frozenset(range(0x20, 0x7F)) | {0x09}
+
+
+def extract_strings(data: bytes, min_length: int = 4) -> list[str]:
+    """Return all printable ASCII runs of at least ``min_length`` characters."""
+    if min_length < 1:
+        raise ValueError("min_length must be >= 1")
+    results: list[str] = []
+    current: list[int] = []
+    for byte in data:
+        if byte in _PRINTABLE:
+            current.append(byte)
+        else:
+            if len(current) >= min_length:
+                results.append(bytes(current).decode("ascii"))
+            current.clear()
+    if len(current) >= min_length:
+        results.append(bytes(current).decode("ascii"))
+    return results
+
+
+def strings_blob(data: bytes, min_length: int = 4) -> str:
+    """Join the extracted strings with newlines (the payload SIREN hashes)."""
+    return "\n".join(extract_strings(data, min_length))

@@ -1,0 +1,110 @@
+"""Edit distances used to compare fuzzy-hash signatures.
+
+The paper (Section 2.1) describes ssdeep's comparison as a
+Damerau-Levenshtein distance over the two signature strings -- insertions,
+deletions, substitutions, and transpositions of adjacent characters -- which
+is then rescaled into a 0-100 similarity score.  This module implements:
+
+* :func:`levenshtein` -- the classic unit-cost Levenshtein distance,
+* :func:`damerau_levenshtein` -- the restricted (optimal string alignment)
+  Damerau-Levenshtein distance with unit costs,
+* :func:`weighted_edit_distance` -- the configurable-cost variant the fuzzy
+  comparison actually uses (ssdeep's ``edit_distn`` charges 1 for
+  insert/delete and 2 for substitution; transpositions cost 2 here so that a
+  swap is never more expensive than the delete+insert it replaces).
+
+All functions operate on plain ``str`` objects and run in ``O(len(a)*len(b))``
+time and ``O(min(len(a), len(b)))`` memory for the two-row variants.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Unit-cost Levenshtein distance between ``a`` and ``b``."""
+    return weighted_edit_distance(a, b, insert_cost=1, delete_cost=1, substitute_cost=1,
+                                  transpose_cost=None)
+
+
+def damerau_levenshtein(a: str, b: str) -> int:
+    """Restricted Damerau-Levenshtein (OSA) distance with unit costs."""
+    return weighted_edit_distance(a, b, insert_cost=1, delete_cost=1, substitute_cost=1,
+                                  transpose_cost=1)
+
+
+def weighted_edit_distance(
+    a: str,
+    b: str,
+    *,
+    insert_cost: int = 1,
+    delete_cost: int = 1,
+    substitute_cost: int = 2,
+    transpose_cost: int | None = 2,
+) -> int:
+    """Weighted edit distance with optional adjacent-transposition moves.
+
+    Parameters
+    ----------
+    a, b:
+        The strings to align.
+    insert_cost, delete_cost, substitute_cost:
+        Costs of the three classic operations.  The defaults match ssdeep's
+        ``edit_distn`` (1/1/2).
+    transpose_cost:
+        Cost of swapping two adjacent characters (Damerau move).  ``None``
+        disables transpositions entirely, giving plain weighted Levenshtein.
+
+    Returns
+    -------
+    int
+        The minimal total cost of transforming ``a`` into ``b``.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b) * insert_cost
+    if not b:
+        return len(a) * delete_cost
+
+    len_a, len_b = len(a), len(b)
+    # Three rows are enough even with transpositions (we only look back two).
+    prev2: list[int] = [0] * (len_b + 1)
+    prev: list[int] = [j * insert_cost for j in range(len_b + 1)]
+    current: list[int] = [0] * (len_b + 1)
+
+    for i in range(1, len_a + 1):
+        current[0] = i * delete_cost
+        char_a = a[i - 1]
+        for j in range(1, len_b + 1):
+            char_b = b[j - 1]
+            cost = 0 if char_a == char_b else substitute_cost
+            best = min(
+                prev[j] + delete_cost,       # delete a[i-1]
+                current[j - 1] + insert_cost,  # insert b[j-1]
+                prev[j - 1] + cost,          # match / substitute
+            )
+            if (
+                transpose_cost is not None
+                and i > 1
+                and j > 1
+                and char_a == b[j - 2]
+                and a[i - 2] == char_b
+            ):
+                best = min(best, prev2[j - 2] + transpose_cost)
+            current[j] = best
+        prev2, prev, current = prev, current, prev2
+
+    return prev[len_b]
+
+
+def has_common_substring(a: str, b: str, length: int = 7) -> bool:
+    """True if ``a`` and ``b`` share any common substring of ``length`` chars.
+
+    ssdeep refuses to score two signatures at all unless they share a 7-gram;
+    this filters out coincidental low-distance matches between short unrelated
+    signatures.
+    """
+    if len(a) < length or len(b) < length:
+        return False
+    grams = {a[i:i + length] for i in range(len(a) - length + 1)}
+    return any(b[i:i + length] in grams for i in range(len(b) - length + 1))

@@ -1,0 +1,251 @@
+"""Context-Triggered Piecewise Hashing (CTPH) -- an SSDeep reimplementation.
+
+SIREN uses ``libfuzzy`` (the ssdeep library) to fuzzy-hash executables, their
+printable strings, their global ELF symbols, and the collected
+module/compiler/library lists.  This module is a from-scratch pure-Python
+implementation of the same algorithm (Kornblum, "Identifying almost identical
+files using context triggered piecewise hashing", 2006):
+
+Hashing
+    A 7-byte rolling hash (:class:`~repro.hashing.rolling.RollingHash`) is
+    updated for every input byte.  Whenever its value is congruent to
+    ``blocksize - 1`` (mod blocksize) the current *piece* ends: the piece's
+    FNV hash contributes one base64 character to the signature and the piece
+    hash restarts.  Two signatures are produced simultaneously, one at the
+    chosen block size and one at twice that size, so that files of somewhat
+    different lengths can still be compared.  The block size starts at
+    ``MIN_BLOCKSIZE`` and doubles until the expected signature fits in
+    ``SPAMSUM_LENGTH`` (64) characters; if the resulting signature turns out
+    too short, the block size is halved and the file rehashed.
+
+Comparison
+    Signatures are comparable only if their block sizes are equal or off by a
+    factor of two.  Runs of more than three identical characters are collapsed
+    (they carry little information and inflate scores), a common 7-gram is
+    required, and a weighted Damerau-Levenshtein distance is rescaled into a
+    0-100 match score, capped for very small block sizes to avoid spurious
+    high scores on tiny inputs.
+
+The output format is the familiar ``blocksize:sig1:sig2`` string, so values
+look and behave like real ssdeep digests (although they are not bit-for-bit
+identical to libfuzzy's output, which is irrelevant here because SIREN only
+ever compares SIREN-produced hashes with each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.edit_distance import has_common_substring, weighted_edit_distance
+from repro.hashing.fnv import SSDEEP_HASH_INIT, sum_hash
+from repro.hashing.rolling import ROLLING_WINDOW, RollingHash
+
+#: Base64 alphabet used for signature characters (standard alphabet, as ssdeep).
+B64_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+#: Minimum block size -- signatures at smaller block sizes carry no structure.
+MIN_BLOCKSIZE = 3
+#: Maximum signature length (characters) for the primary signature.
+SPAMSUM_LENGTH = 64
+#: Maximum length of a run of identical characters kept during comparison.
+MAX_SEQUENCE = 3
+
+
+@dataclass(frozen=True)
+class FuzzyHash:
+    """A parsed fuzzy hash: block size plus the two signature strings."""
+
+    block_size: int
+    sig1: str
+    sig2: str
+
+    def __str__(self) -> str:
+        return f"{self.block_size}:{self.sig1}:{self.sig2}"
+
+    @classmethod
+    def parse(cls, digest: str) -> "FuzzyHash":
+        """Parse a ``blocksize:sig1:sig2`` digest string."""
+        parts = digest.split(":", 2)
+        if len(parts) != 3:
+            raise ValueError(f"not a fuzzy hash: {digest!r}")
+        try:
+            block_size = int(parts[0])
+        except ValueError as exc:
+            raise ValueError(f"invalid block size in fuzzy hash: {digest!r}") from exc
+        if block_size <= 0:
+            raise ValueError(f"block size must be positive: {digest!r}")
+        return cls(block_size=block_size, sig1=parts[1], sig2=parts[2])
+
+
+class FuzzyHasher:
+    """Configurable CTPH hasher.
+
+    The defaults reproduce ssdeep's behaviour; the knobs exist mainly for the
+    ablation benchmarks (e.g. disabling the double-block-size signature or the
+    common-substring requirement to show why they matter).
+    """
+
+    def __init__(
+        self,
+        min_block_size: int = MIN_BLOCKSIZE,
+        signature_length: int = SPAMSUM_LENGTH,
+        require_common_substring: bool = True,
+    ) -> None:
+        if min_block_size < 1:
+            raise ValueError("min_block_size must be >= 1")
+        if signature_length < 8:
+            raise ValueError("signature_length must be >= 8")
+        self.min_block_size = min_block_size
+        self.signature_length = signature_length
+        self.require_common_substring = require_common_substring
+
+    # ------------------------------------------------------------------ #
+    # hashing
+    # ------------------------------------------------------------------ #
+    def initial_block_size(self, length: int) -> int:
+        """Smallest block size whose expected signature fits in the budget."""
+        block_size = self.min_block_size
+        while block_size * self.signature_length < length:
+            block_size *= 2
+        return block_size
+
+    def hash(self, data: bytes) -> FuzzyHash:
+        """Compute the fuzzy hash of ``data``."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("FuzzyHasher.hash expects bytes-like input")
+        data = bytes(data)
+        block_size = self.initial_block_size(len(data))
+        while True:
+            sig1, sig2 = self._hash_at(data, block_size)
+            # If the primary signature is too short the block size was too
+            # coarse (e.g. highly repetitive input); retry at half the size.
+            if block_size > self.min_block_size and len(sig1) < self.signature_length // 2:
+                block_size //= 2
+            else:
+                return FuzzyHash(block_size=block_size, sig1=sig1, sig2=sig2)
+
+    def hash_text(self, text: str) -> FuzzyHash:
+        """Fuzzy-hash a text payload (UTF-8 encoded)."""
+        return self.hash(text.encode("utf-8"))
+
+    def digest(self, data: bytes) -> str:
+        """Convenience: return the digest string directly."""
+        return str(self.hash(data))
+
+    def _hash_at(self, data: bytes, block_size: int) -> tuple[str, str]:
+        """Single pass producing the signatures at ``block_size`` and double it."""
+        roller = RollingHash()
+        piece1 = SSDEEP_HASH_INIT
+        piece2 = SSDEEP_HASH_INIT
+        sig1: list[str] = []
+        sig2: list[str] = []
+        double_block = block_size * 2
+        sig_len = self.signature_length
+
+        for byte in data:
+            piece1 = sum_hash(byte, piece1)
+            piece2 = sum_hash(byte, piece2)
+            rolling = roller.update(byte)
+            if rolling % block_size == block_size - 1:
+                if len(sig1) < sig_len - 1:
+                    sig1.append(B64_ALPHABET[piece1 % 64])
+                    piece1 = SSDEEP_HASH_INIT
+            if rolling % double_block == double_block - 1:
+                if len(sig2) < sig_len // 2 - 1:
+                    sig2.append(B64_ALPHABET[piece2 % 64])
+                    piece2 = SSDEEP_HASH_INIT
+        if roller.value != 0 or data:
+            # Capture the trailing partial piece (always, even if empty data
+            # produced no trigger at all but bytes were consumed).
+            if data:
+                sig1.append(B64_ALPHABET[piece1 % 64])
+                sig2.append(B64_ALPHABET[piece2 % 64])
+        return "".join(sig1), "".join(sig2)
+
+    # ------------------------------------------------------------------ #
+    # comparison
+    # ------------------------------------------------------------------ #
+    def compare(self, first: FuzzyHash | str, second: FuzzyHash | str) -> int:
+        """Return the 0-100 similarity score between two fuzzy hashes."""
+        h1 = first if isinstance(first, FuzzyHash) else FuzzyHash.parse(first)
+        h2 = second if isinstance(second, FuzzyHash) else FuzzyHash.parse(second)
+
+        b1, b2 = h1.block_size, h2.block_size
+        if b1 != b2 and b1 != b2 * 2 and b2 != b1 * 2:
+            return 0
+
+        s1a = _eliminate_sequences(h1.sig1)
+        s1b = _eliminate_sequences(h1.sig2)
+        s2a = _eliminate_sequences(h2.sig1)
+        s2b = _eliminate_sequences(h2.sig2)
+
+        if b1 == b2 and s1a == s2a and s1b == s2b and s1a:
+            return 100
+
+        if b1 == b2:
+            score1 = self._score_strings(s1a, s2a, b1)
+            score2 = self._score_strings(s1b, s2b, b1 * 2)
+            return max(score1, score2)
+        if b1 == b2 * 2:
+            return self._score_strings(s1a, s2b, b1)
+        return self._score_strings(s1b, s2a, b2)
+
+    def _score_strings(self, s1: str, s2: str, block_size: int) -> int:
+        """Convert an edit distance between two signatures into a 0-100 score."""
+        if not s1 or not s2:
+            return 0
+        if self.require_common_substring and not has_common_substring(s1, s2, ROLLING_WINDOW):
+            return 0
+        if s1 == s2:
+            score = 100
+        else:
+            distance = weighted_edit_distance(s1, s2)
+            # Rescale: 0 distance -> 100, distance comparable to the combined
+            # signature length -> 0.  This mirrors ssdeep's score_strings().
+            scaled = (distance * self.signature_length) // (len(s1) + len(s2))
+            scaled = (100 * scaled) // self.signature_length
+            if scaled >= 100:
+                return 0
+            score = 100 - scaled
+        # For small block sizes, cap the score so short inputs cannot claim
+        # near-perfect similarity on the strength of a handful of pieces.
+        threshold = (99 + ROLLING_WINDOW) // ROLLING_WINDOW * self.min_block_size
+        if block_size < threshold:
+            cap = block_size // self.min_block_size * min(len(s1), len(s2))
+            score = min(score, cap)
+        return max(0, min(100, score))
+
+
+def _eliminate_sequences(signature: str) -> str:
+    """Collapse runs of more than :data:`MAX_SEQUENCE` identical characters."""
+    if len(signature) <= MAX_SEQUENCE:
+        return signature
+    out: list[str] = list(signature[:MAX_SEQUENCE])
+    for index in range(MAX_SEQUENCE, len(signature)):
+        char = signature[index]
+        if not (
+            char == signature[index - 1]
+            and char == signature[index - 2]
+            and char == signature[index - 3]
+        ):
+            out.append(char)
+    return "".join(out)
+
+
+# Module-level singleton mirroring libfuzzy's stateless API ------------------
+_DEFAULT_HASHER = FuzzyHasher()
+
+
+def fuzzy_hash(data: bytes) -> str:
+    """Fuzzy-hash a bytes payload with default parameters (digest string)."""
+    return _DEFAULT_HASHER.digest(data)
+
+
+def fuzzy_hash_text(text: str) -> str:
+    """Fuzzy-hash a text payload (UTF-8) with default parameters."""
+    return str(_DEFAULT_HASHER.hash_text(text))
+
+
+def compare(first: FuzzyHash | str, second: FuzzyHash | str) -> int:
+    """Compare two fuzzy hashes with default parameters (0-100)."""
+    return _DEFAULT_HASHER.compare(first, second)

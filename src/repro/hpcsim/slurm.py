@@ -1,0 +1,149 @@
+"""Slurm-like workload manager for the simulated cluster.
+
+LUMI uses Slurm; the only aspects SIREN depends on are (a) the job / step /
+rank identifiers exported into every process environment (``SLURM_JOB_ID``,
+``SLURM_STEP_ID``, ``SLURM_PROCID``, plus ``HOSTNAME``) and (b) the fact that
+a job script spawns a tree of processes (``bash``, ``srun``, ``lua`` for
+module loads, the actual application ranks, auxiliary tools such as ``mkdir``
+or ``rm``).  This module models job scripts as explicit lists of process
+specifications and a scheduler that allocates identifiers and environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One process to launch within a job step.
+
+    Parameters
+    ----------
+    executable:
+        Absolute path of the binary (or Python interpreter) to execute.
+    ranks:
+        Number of MPI ranks (``SLURM_PROCID`` 0..ranks-1) to launch.
+    count:
+        How many times this spec repeats within the step (e.g. a loop calling
+        ``mkdir`` 500 times).  Each repetition gets a fresh PID.
+    python_script:
+        Path of the Python script, when the executable is a Python interpreter.
+    imported_packages:
+        Python packages the script imports (drives the interpreter memory map).
+    mapped_files:
+        Extra memory-mapped files (native extension modules of those packages).
+    duration:
+        Simulated wall-clock seconds per process.
+    """
+
+    executable: str
+    argv: tuple[str, ...] = ()
+    ranks: int = 1
+    count: int = 1
+    python_script: str | None = None
+    imported_packages: tuple[str, ...] = ()
+    mapped_files: tuple[str, ...] = ()
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise SimulationError("ProcessSpec.ranks must be >= 1")
+        if self.count < 1:
+            raise SimulationError("ProcessSpec.count must be >= 1")
+
+    @property
+    def total_processes(self) -> int:
+        """Number of OS processes this spec expands to."""
+        return self.ranks * self.count
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """One job step (one ``srun`` invocation or the batch step itself)."""
+
+    processes: tuple[ProcessSpec, ...]
+    uses_srun: bool = False
+
+    @property
+    def total_processes(self) -> int:
+        """Number of OS processes in this step."""
+        return sum(spec.total_processes for spec in self.processes)
+
+
+@dataclass(frozen=True)
+class JobScript:
+    """A batch job: modules to load, extra environment, and steps to run."""
+
+    name: str
+    modules: tuple[str, ...] = ()
+    environment: tuple[tuple[str, str], ...] = ()
+    steps: tuple[StepSpec, ...] = ()
+
+    @property
+    def total_processes(self) -> int:
+        """Number of OS processes across all steps."""
+        return sum(step.total_processes for step in self.steps)
+
+
+@dataclass
+class SlurmJob:
+    """Accounting record for one submitted job."""
+
+    job_id: int
+    user: str
+    name: str
+    node: str
+    submit_time: int
+    step_count: int = 0
+    process_count: int = 0
+    end_time: int = 0
+
+
+@dataclass
+class SlurmScheduler:
+    """Job-identifier allocation and per-process environment construction."""
+
+    nodes: tuple[str, ...] = tuple(f"nid{index:06d}" for index in range(1, 9))
+    first_job_id: int = 9_100_000
+    _next_job_id: int = field(init=False)
+    jobs: list[SlurmJob] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SimulationError("the scheduler needs at least one node")
+        self._next_job_id = self.first_job_id
+
+    def allocate_job(self, user: str, name: str, submit_time: int) -> SlurmJob:
+        """Allocate the next job id and pick a node (round-robin)."""
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        node = self.nodes[(job_id - self.first_job_id) % len(self.nodes)]
+        job = SlurmJob(job_id=job_id, user=user, name=name, node=node,
+                       submit_time=submit_time)
+        self.jobs.append(job)
+        return job
+
+    @staticmethod
+    def process_environment(
+        job: SlurmJob,
+        step_id: int,
+        procid: int,
+        base_environment: dict[str, str],
+    ) -> dict[str, str]:
+        """Environment for one rank of one step of ``job``."""
+        env = dict(base_environment)
+        env["SLURM_JOB_ID"] = str(job.job_id)
+        env["SLURM_JOB_NAME"] = job.name
+        env["SLURM_STEP_ID"] = str(step_id)
+        env["SLURM_PROCID"] = str(procid)
+        env["HOSTNAME"] = job.node
+        env["USER"] = job.user
+        return env
+
+    @property
+    def job_count(self) -> int:
+        """Number of jobs submitted so far."""
+        return len(self.jobs)

@@ -1,0 +1,20 @@
+"""Post-processing: UDP messages -> consolidated per-process records.
+
+Two steps, exactly as in the paper:
+
+1. :mod:`repro.postprocess.consolidate` merges the (possibly chunked, possibly
+   partially lost) UDP messages of each process into a single record, and
+   merges the Python *script* layer into its parent interpreter record.
+2. :mod:`repro.postprocess.python_merge` extracts the imported Python packages
+   from the memory-mapped files of Python interpreter processes.
+"""
+
+from repro.postprocess.consolidate import Consolidator, consolidate_store
+from repro.postprocess.python_merge import extract_python_packages, package_from_mapped_path
+
+__all__ = [
+    "Consolidator",
+    "consolidate_store",
+    "extract_python_packages",
+    "package_from_mapped_path",
+]

@@ -1,0 +1,51 @@
+"""Derive imported Python packages from interpreter memory maps.
+
+A Python process maps the native extension modules of every imported package
+(``_heapq.cpython-311-x86_64-linux-gnu.so`` from the stdlib's ``lib-dynload``
+directory, ``numpy/core/_multiarray_umath...so`` from ``site-packages``, ...).
+SIREN collects the memory map of interpreter processes and this step turns the
+mapped paths into package names -- the data behind Figure 3.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.hpcsim.memmap import parse_mapped_paths
+
+_CPYTHON_SUFFIX = re.compile(r"\.cpython-[^.]+\.so$|\.so$")
+
+
+def _stem(filename: str) -> str:
+    """File stem with the ``.cpython-XY-...so`` suffix removed."""
+    return _CPYTHON_SUFFIX.sub("", filename)
+
+
+def package_from_mapped_path(path: str) -> str | None:
+    """Map one memory-mapped file path to a Python package name (or ``None``).
+
+    * ``.../lib-dynload/_heapq.cpython-311-x86_64-linux-gnu.so`` -> ``heapq``
+    * ``.../site-packages/numpy/core/_multiarray_umath...so``    -> ``numpy``
+    * anything else (the interpreter itself, libc, ...)           -> ``None``
+    """
+    if "/site-packages/" in path:
+        tail = path.split("/site-packages/", 1)[1]
+        first = tail.split("/", 1)[0]
+        if first.endswith(".so"):
+            return _stem(first).lstrip("_") or None
+        return first or None
+    if "/lib-dynload/" in path:
+        filename = path.rsplit("/", 1)[-1]
+        name = _stem(filename).lstrip("_")
+        return name or None
+    return None
+
+
+def extract_python_packages(maps_text: str) -> list[str]:
+    """Distinct imported packages from a maps listing, sorted alphabetically."""
+    packages: set[str] = set()
+    for path in parse_mapped_paths(maps_text):
+        name = package_from_mapped_path(path)
+        if name:
+            packages.add(name)
+    return sorted(packages)

@@ -1,0 +1,68 @@
+"""Chunking of long message contents.
+
+UDP datagrams are size-limited, but module lists, shared-object lists and
+memory maps routinely exceed one datagram.  The sender splits such contents
+into chunks that each fit in a datagram; the post-processing step reassembles
+them.  Because chunks travel as independent datagrams, any of them can be
+lost -- reassembly therefore returns whatever arrived, in order, and reports
+whether the message is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import TransportError
+
+
+def split_content(content: str, max_chunk_bytes: int) -> list[str]:
+    """Split ``content`` into chunks of at most ``max_chunk_bytes`` UTF-8 bytes."""
+    if max_chunk_bytes < 8:
+        raise TransportError("max_chunk_bytes is unreasonably small")
+    if not content:
+        return [""]
+    encoded = content.encode("utf-8")
+    if len(encoded) <= max_chunk_bytes:
+        return [content]
+    chunks: list[str] = []
+    start = 0
+    while start < len(encoded):
+        end = min(start + max_chunk_bytes, len(encoded))
+        # Avoid splitting inside a multi-byte UTF-8 sequence.
+        while end > start and end < len(encoded) and (encoded[end] & 0xC0) == 0x80:
+            end -= 1
+        if end == start:  # pathological: a single character larger than the budget
+            end = min(start + max_chunk_bytes, len(encoded))
+        chunks.append(encoded[start:end].decode("utf-8", errors="ignore"))
+        start = end
+    return chunks
+
+
+@dataclass(frozen=True)
+class ReassembledContent:
+    """Result of reassembling the chunks that actually arrived."""
+
+    content: str
+    received_chunks: int
+    expected_chunks: int
+
+    @property
+    def complete(self) -> bool:
+        """True if every chunk arrived."""
+        return self.received_chunks == self.expected_chunks
+
+
+def reassemble_chunks(chunks: dict[int, str], expected_total: int) -> ReassembledContent:
+    """Reassemble ``{chunk_index: content}`` into a single string.
+
+    Missing chunks are simply skipped (their data was lost on the wire); the
+    caller can detect incompleteness via :attr:`ReassembledContent.complete`.
+    """
+    if expected_total < 1:
+        raise TransportError("expected_total must be >= 1")
+    ordered = [chunks[index] for index in sorted(chunks) if 0 <= index < expected_total]
+    return ReassembledContent(
+        content="".join(ordered),
+        received_chunks=len(ordered),
+        expected_chunks=expected_total,
+    )

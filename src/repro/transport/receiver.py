@@ -1,0 +1,50 @@
+"""The message receiver (the paper's Go UDP server, in Python).
+
+The receiver decodes incoming datagrams and inserts them into the SQLite
+message store.  Malformed datagrams are counted and dropped -- a receiver on a
+busy cluster cannot afford to crash because one packet was garbled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.store import MessageStore
+from repro.transport.channel import Channel
+from repro.transport.messages import UDPMessage
+from repro.util.errors import TransportError
+
+
+@dataclass
+class MessageReceiver:
+    """Decode datagrams and persist them."""
+
+    store: MessageStore
+    messages_received: int = 0
+    decode_errors: int = 0
+    _buffer: list[UDPMessage] = field(default_factory=list)
+    batch_size: int = 500
+
+    def attach(self, channel: Channel) -> None:
+        """Subscribe to a channel so every delivered datagram reaches the store."""
+        channel.subscribe(self.handle_datagram)
+
+    def handle_datagram(self, datagram: bytes) -> None:
+        """Decode one datagram and buffer it for insertion."""
+        try:
+            message = UDPMessage.decode(datagram)
+        except TransportError:
+            self.decode_errors += 1
+            return
+        self._buffer.append(message)
+        self.messages_received += 1
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> int:
+        """Insert all buffered messages into the store; returns how many."""
+        if not self._buffer:
+            return 0
+        inserted = self.store.insert_many(self._buffer)
+        self._buffer.clear()
+        return inserted

@@ -1,0 +1,49 @@
+"""The UDP message sender embedded in the collector.
+
+The sender is "fire and forget": it chunks long contents, encodes each chunk
+as a datagram and hands it to the channel.  Any error raised by the channel is
+swallowed (and counted) -- the one thing the sender must never do is disturb
+the hooked user process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.transport.channel import Channel
+from repro.transport.chunking import split_content
+from repro.transport.messages import MAX_DATAGRAM_SIZE, UDPMessage
+
+
+@dataclass
+class UDPSender:
+    """Chunk, encode and transmit SIREN messages over a channel."""
+
+    channel: Channel
+    max_datagram_size: int = MAX_DATAGRAM_SIZE
+    messages_sent: int = 0
+    datagrams_sent: int = 0
+    send_errors: int = 0
+
+    def send(self, message: UDPMessage) -> int:
+        """Send one logical message; returns the number of datagrams emitted."""
+        overhead = message.header_overhead() + 16  # margin for chunk counters
+        budget = max(self.max_datagram_size - overhead, 64)
+        chunks = split_content(message.content, budget)
+        total = len(chunks)
+        emitted = 0
+        for index, chunk in enumerate(chunks):
+            datagram = message.with_chunk(chunk, index, total).encode()
+            try:
+                self.channel.send(datagram)
+            except Exception:  # noqa: BLE001 - fire and forget, never propagate
+                self.send_errors += 1
+            else:
+                emitted += 1
+        self.messages_sent += 1
+        self.datagrams_sent += emitted
+        return emitted
+
+    def send_all(self, messages: list[UDPMessage]) -> int:
+        """Send a batch of messages; returns the total datagrams emitted."""
+        return sum(self.send(message) for message in messages)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the SIREN reproduction.
+
+A single root exception (:class:`ReproError`) makes it easy for callers to
+catch "anything this library raised" without also swallowing programming
+errors such as ``TypeError``.  Each subsystem gets its own subclass so tests
+can assert on the precise failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised by the HPC simulator (filesystem, linker, scheduler, cluster)."""
+
+
+class CorpusError(ReproError):
+    """Raised when building or querying the synthetic software corpus."""
+
+
+class CollectionError(ReproError):
+    """Raised by the SIREN collector.
+
+    Note that the collector itself is designed to *fail gracefully*: errors
+    during hooked collection are caught and turned into missing data rather
+    than propagated into the "user process".  ``CollectionError`` is used for
+    programming/configuration mistakes (e.g. registering a hook twice), not
+    for per-process collection failures.
+    """
+
+
+class TransportError(ReproError):
+    """Raised by the UDP-style transport layer for configuration errors."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the analysis layer (e.g. similarity search on empty data)."""
+
+
+class ELFError(ReproError):
+    """Raised when parsing or building an ELF image fails."""

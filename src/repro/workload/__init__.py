@@ -1,0 +1,34 @@
+"""Workload generation: the opt-in deployment campaign.
+
+The paper's evaluation data comes from 12 opt-in users running 13,448 jobs
+with 2.3 million processes on LUMI over three months.  This subpackage
+generates a synthetic campaign with the same *structure*:
+
+* :mod:`repro.workload.profiles` -- per-user behaviour profiles (how many
+  jobs, which mix of system tools, which scientific packages and variants,
+  which Python interpreters and scripts), calibrated to Table 2,
+* :mod:`repro.workload.scenarios` -- builders turning profile entries into
+  concrete :class:`~repro.hpcsim.slurm.JobScript` objects,
+* :mod:`repro.workload.campaign` -- the campaign runner that stands up a
+  cluster, installs the corpus, deploys SIREN, executes every job and
+  consolidates the collected data.
+
+Absolute counts are scale-parameterised (``scale=1.0`` reproduces the paper's
+magnitudes; the default benchmark scale is much smaller) while relative
+structure -- who runs what, which executables dominate, how many variants of
+each package exist -- is scale-independent.
+"""
+
+from repro.workload.campaign import CampaignConfig, CampaignResult, DeploymentCampaign
+from repro.workload.profiles import DEFAULT_PROFILES, JobTemplate, UserProfile
+from repro.workload.scenarios import ScenarioBuilder
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "DeploymentCampaign",
+    "DEFAULT_PROFILES",
+    "JobTemplate",
+    "UserProfile",
+    "ScenarioBuilder",
+]

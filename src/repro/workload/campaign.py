@@ -1,0 +1,203 @@
+"""The opt-in deployment campaign runner.
+
+:class:`DeploymentCampaign` stands up the whole reproduction in one call:
+
+1. build a cluster and install the corpus (libraries, system tools, Python,
+   ``siren.so``, per-user scientific packages),
+2. deploy SIREN (message store, channel, receiver, sender, collector hook),
+3. execute the scaled campaign: every user profile submits its jobs through
+   the Slurm-like scheduler, each process is hooked and collected,
+4. consolidate the UDP messages into per-process records.
+
+The result object carries everything the analysis layer and the benchmark
+harness need: the records, the store, the anonymised user mapping, the corpus
+manifest, and the transport/collection counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collector.hooks import SirenCollector
+from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
+from repro.corpus.builder import CorpusBuilder, CorpusManifest
+from repro.corpus.packages import PACKAGES_BY_NAME
+from repro.db.store import MessageStore, ProcessRecord
+from repro.hpcsim.cluster import Cluster
+from repro.postprocess.consolidate import Consolidator
+from repro.transport.channel import InMemoryChannel, LossyChannel
+from repro.transport.receiver import MessageReceiver
+from repro.transport.sender import UDPSender
+from repro.util.rng import SeededRNG
+from repro.workload.profiles import (
+    BASH_ENVIRONMENT_QUIRKS,
+    DEFAULT_PROFILES,
+    UserProfile,
+    packages_used_by,
+)
+from repro.workload.scenarios import ScenarioBuilder
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of a campaign run."""
+
+    scale: float = 0.01            #: fraction of the paper's job counts to run
+    seed: int = 42
+    loss_rate: float = 0.0002      #: UDP datagram loss probability
+    store_path: str = ":memory:"
+    keep_raw_messages: bool = True
+    policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    quirk_fraction: float = 0.15   #: fraction of a quirk user's jobs with the alt environment
+    min_jobs_per_user: int = 1
+    #: guarantee every job template of every user runs at least once, so the
+    #: rare-but-load-bearing cases (the UNKNOWN icon runs, the GROMACS sharing)
+    #: are present even at very small scales.
+    ensure_template_coverage: bool = True
+
+    def jobs_for(self, profile: UserProfile) -> int:
+        """Number of jobs this profile submits at the configured scale."""
+        minimum = self.min_jobs_per_user
+        if self.ensure_template_coverage:
+            minimum = max(minimum, len(profile.templates))
+        return max(minimum, round(profile.job_count * self.scale))
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    records: list[ProcessRecord]
+    store: MessageStore
+    user_names: dict[int, str]
+    manifest: CorpusManifest
+    cluster: Cluster
+    collector: SirenCollector
+    channel: LossyChannel | InMemoryChannel
+    jobs_run: int
+    processes_run: int
+
+    @property
+    def incomplete_fraction(self) -> float:
+        """Fraction of consolidated records flagged incomplete (UDP loss effect)."""
+        if not self.records:
+            return 0.0
+        return sum(record.incomplete for record in self.records) / len(self.records)
+
+
+@dataclass
+class DeploymentCampaign:
+    """Run the synthetic LUMI opt-in campaign."""
+
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+    profiles: tuple[UserProfile, ...] = DEFAULT_PROFILES
+    cluster: Cluster = field(init=False)
+    manifest: CorpusManifest = field(init=False)
+    collector: SirenCollector = field(init=False)
+    store: MessageStore = field(init=False)
+    channel: LossyChannel | InMemoryChannel = field(init=False)
+    receiver: MessageReceiver = field(init=False)
+    scenario_builder: ScenarioBuilder = field(init=False)
+    rng: SeededRNG = field(init=False)
+    _prepared: bool = False
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> None:
+        """Build the cluster, corpus and SIREN deployment (idempotent)."""
+        if self._prepared:
+            return
+        self.rng = SeededRNG(self.config.seed)
+        self.cluster = Cluster()
+        corpus = CorpusBuilder(self.cluster, rng=self.rng.fork("corpus"))
+        self.manifest = corpus.install_base_system()
+
+        # Users and their software installs (registration order fixes user_N labels).
+        for profile in self.profiles:
+            user = self.cluster.add_user(profile.username)
+            for package_name in packages_used_by(profile):
+                corpus.install_package(PACKAGES_BY_NAME[package_name], user)
+
+        # SIREN deployment: store <- receiver <- channel <- sender <- collector hook.
+        self.store = MessageStore(self.config.store_path)
+        if self.config.loss_rate > 0:
+            self.channel = LossyChannel(loss_rate=self.config.loss_rate,
+                                        rng=self.rng.fork("udp-loss"))
+        else:
+            self.channel = InMemoryChannel()
+        self.receiver = MessageReceiver(self.store)
+        self.receiver.attach(self.channel)
+        sender = UDPSender(self.channel)
+        self.collector = SirenCollector(
+            filesystem=self.cluster.filesystem,
+            sender=sender,
+            library_path=self.manifest.siren_library,
+            policy=self.config.policy,
+        )
+        self.cluster.register_preload_hook(self.collector)
+        self.scenario_builder = ScenarioBuilder(self.cluster, self.manifest,
+                                                rng=self.rng.fork("scenarios"))
+        self._prepared = True
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return the consolidated result."""
+        self.prepare()
+        jobs_run = 0
+        for profile in self.profiles:
+            user = self.cluster.users.get(profile.username)
+            job_rng = self.rng.fork("jobs", profile.username)
+            job_count = self.config.jobs_for(profile)
+            templates = list(profile.templates)
+            weights = profile.template_weights()
+            quirk_key = BASH_ENVIRONMENT_QUIRKS.get(profile.username)
+            for job_index in range(job_count):
+                if self.config.ensure_template_coverage and job_index < len(templates):
+                    # First pass: round-robin so every template runs at least once.
+                    template = templates[job_index]
+                else:
+                    template = job_rng.weighted_choice(templates, weights)
+                quirk = None
+                if quirk_key and (job_index == 0
+                                  or job_rng.random() < self.config.quirk_fraction):
+                    # The first job of a "quirk" user always carries the altered
+                    # environment so the rare bash variants of Table 4 are
+                    # present even at very small campaign scales.
+                    quirk = quirk_key
+                script = self.scenario_builder.build_job_script(
+                    profile, template, user, job_index=job_index, quirk_module=quirk,
+                )
+                self.cluster.run_job(profile.username, script)
+                jobs_run += 1
+            # Each user's activity spreads over the campaign window.
+            self.cluster.filesystem.advance_clock(3600)
+
+        self.receiver.flush()
+        consolidator = Consolidator(self.store)
+        records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
+        # Profiles already carry anonymised names (user_1 ... user_12), so the
+        # UID mapping simply reflects the registered usernames.
+        user_names = {user.uid: user.username for user in self.cluster.users.all()}
+        return CampaignResult(
+            config=self.config,
+            records=records,
+            store=self.store,
+            user_names=user_names,
+            manifest=self.manifest,
+            cluster=self.cluster,
+            collector=self.collector,
+            channel=self.channel,
+            jobs_run=jobs_run,
+            processes_run=self.cluster.processes_run,
+        )
+
+
+def run_campaign(scale: float = 0.01, seed: int = 42, *,
+                 loss_rate: float = 0.0002) -> CampaignResult:
+    """Convenience wrapper used by examples and benchmarks."""
+    config = CampaignConfig(scale=scale, seed=seed, loss_rate=loss_rate)
+    return DeploymentCampaign(config=config).run()

@@ -1,0 +1,139 @@
+"""Tests for the similarity search (Table 7) and report rendering."""
+
+import pytest
+
+from repro.analysis import report
+from repro.analysis.similarity import HASH_COLUMNS, ExecutableInstance, SimilaritySearch
+from repro.db.store import ProcessRecord
+from repro.hashing.ssdeep import fuzzy_hash_text
+from repro.util.errors import AnalysisError
+
+
+def _record(executable: str, *, content_tag: str, env_tag: str = "env-a",
+            category: str = "user", uid: int = 1000) -> ProcessRecord:
+    """Build a user record whose six hashes are derived from two tags."""
+    content = f"{content_tag} " * 120
+    environment = f"{env_tag} " * 80
+    return ProcessRecord(
+        jobid="1", stepid="0", pid=1, hash="h", host="n", time=0, uid=uid,
+        executable=executable, category=category,
+        modules_h=fuzzy_hash_text(environment + "modules"),
+        compilers_h=fuzzy_hash_text(environment + "compilers"),
+        objects_h=fuzzy_hash_text(environment + "objects"),
+        file_h=fuzzy_hash_text(content + "file"),
+        strings_h=fuzzy_hash_text(content + "strings"),
+        symbols_h=fuzzy_hash_text(content + "symbols"),
+    )
+
+
+@pytest.fixture()
+def records() -> list[ProcessRecord]:
+    return [
+        _record("/p/u/icon-model/bin-a/icon", content_tag="icon release one"),
+        _record("/p/u/icon-model/bin-b/icon", content_tag="icon release one patched lightly"),
+        _record("/p/u/lammps/bin/lmp", content_tag="completely different lammps payload",
+                env_tag="env-b"),
+        # The unknown instance: identical content to bin-a, same environment.
+        _record("/scratch/p/u/exp_042/a.out", content_tag="icon release one"),
+    ]
+
+
+class TestInstanceIndex:
+    def test_instances_built_per_path(self, records):
+        search = SimilaritySearch(records)
+        assert len(search.instances) == 4
+
+    def test_duplicate_records_merge_by_path(self, records):
+        search = SimilaritySearch(records + [records[0]])
+        assert len(search.instances) == 4
+        merged = [i for i in search.instances if i.executable == records[0].executable][0]
+        assert merged.process_count == 2
+
+    def test_unknown_and_labelled_partition(self, records):
+        search = SimilaritySearch(records)
+        assert {i.executable for i in search.unknown_instances()} == {
+            "/scratch/p/u/exp_042/a.out"}
+        assert len(search.labelled_instances()) == 3
+
+    def test_system_records_ignored(self, records):
+        extra = _record("/usr/bin/bash", content_tag="bash", category="system")
+        assert len(SimilaritySearch(records + [extra]).instances) == 4
+
+    def test_records_without_file_hash_ignored(self, records):
+        nohash = ProcessRecord(jobid="1", stepid="0", pid=2, hash="h", host="n", time=0,
+                               uid=1000, executable="/p/u/x", category="user")
+        assert len(SimilaritySearch(records + [nohash]).instances) == 4
+
+
+class TestQueries:
+    def test_identical_content_and_env_scores_100(self, records):
+        search = SimilaritySearch(records)
+        unknown = search.unknown_instances()[0]
+        best = search.best_match(unknown)
+        assert best is not None
+        assert best.label == "icon"
+        assert best.average == 100.0
+        assert all(best.scores[column] == 100 for column in HASH_COLUMNS)
+
+    def test_ranking_prefers_similar_variant_over_unrelated(self, records):
+        search = SimilaritySearch(records)
+        unknown = search.unknown_instances()[0]
+        ranked = search.query(unknown)
+        assert [result.label for result in ranked[:2]] == ["icon", "icon"]
+        assert ranked[0].average >= ranked[1].average > ranked[-1].average
+
+    def test_identify_unknown_returns_per_baseline_results(self, records):
+        searches = SimilaritySearch(records).identify_unknown(top=2)
+        assert set(searches) == {"/scratch/p/u/exp_042/a.out"}
+        assert len(searches["/scratch/p/u/exp_042/a.out"]) == 2
+
+    def test_identify_unknown_without_unknowns_raises(self, records):
+        with pytest.raises(AnalysisError):
+            SimilaritySearch(records[:3]).identify_unknown()
+
+    def test_query_with_custom_columns(self, records):
+        search = SimilaritySearch(records)
+        unknown = search.unknown_instances()[0]
+        ranked = search.query(unknown, columns=("FI_H",))
+        assert set(ranked[0].scores) == {"FI_H"}
+
+    def test_compare_instances_handles_missing_hash(self, records):
+        search = SimilaritySearch(records)
+        empty = ExecutableInstance(executable="/p/x", label="icon",
+                                   hashes={column: "" for column in HASH_COLUMNS})
+        scores = search.compare_instances(search.instances[0], empty)
+        assert all(score == 0 for score in scores.values())
+
+    def test_pairwise_matrix_shape_and_diagonal(self, records):
+        search = SimilaritySearch(records)
+        matrix = search.pairwise_average_matrix("FI_H")
+        size = len(search.instances)
+        assert len(matrix) == size and all(len(row) == size for row in matrix)
+        assert all(matrix[i][i] == 100 for i in range(size))
+        assert matrix[0][1] == matrix[1][0]
+
+    def test_result_row_format(self, records):
+        search = SimilaritySearch(records)
+        result = search.best_match(search.unknown_instances()[0])
+        row = result.as_row()
+        assert row[0] == "icon"
+        assert len(row) == 2 + len(HASH_COLUMNS)
+
+
+class TestReportRendering:
+    def test_render_similarity(self, records):
+        search = SimilaritySearch(records)
+        results = search.query(search.unknown_instances()[0], top=3)
+        rendered = report.render_similarity(results)
+        assert "Avg. Sim." in rendered
+        assert "icon" in rendered
+
+    def test_render_all_section_helpers_smoke(self, pipeline):
+        """Every render helper produces a non-empty table on real campaign data."""
+        assert "Table 2" in report.render_user_activity(pipeline.table2_user_activity())
+        assert "Table 3" in report.render_system_executables(pipeline.table3_system_executables())
+        assert "Table 5" in report.render_labels(pipeline.table5_user_applications())
+        assert "Table 6" in report.render_compiler_combinations(pipeline.table6_compilers())
+        assert "Table 8" in report.render_python_interpreters(pipeline.table8_python_interpreters())
+        assert "Figure 2" in report.render_library_usage(pipeline.figure2_library_usage())
+        assert "Figure 3" in report.render_python_packages(pipeline.figure3_python_packages())

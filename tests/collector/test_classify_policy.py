@@ -1,0 +1,112 @@
+"""Tests for process classification and the Table 1 collection policy."""
+
+import pytest
+
+from repro.collector.classify import (
+    ExecutableCategory,
+    classify_executable,
+    classify_process,
+    extract_script_path,
+    is_python_interpreter,
+)
+from repro.collector.policy import DEFAULT_POLICY, FULL_POLICY, CollectionPolicy, ScopePolicy
+
+
+class TestClassification:
+    @pytest.mark.parametrize("path", ["/usr/bin/bash", "/usr/bin/srun", "/bin/ls",
+                                      "/opt/cray/pe/bin/cc"])
+    def test_system(self, path):
+        assert classify_executable(path) is ExecutableCategory.SYSTEM
+
+    @pytest.mark.parametrize("path", ["/project/p/u/lammps/bin/lmp", "/users/alice/a.out",
+                                      "/scratch/p/model.x", "/appl/local/tool/bin/x"])
+    def test_user(self, path):
+        assert classify_executable(path) is ExecutableCategory.USER
+
+    @pytest.mark.parametrize("path", ["/usr/bin/python3.10", "/usr/bin/python3",
+                                      "/usr/bin/python", "/opt/python/3.11.5/bin/python3.11"])
+    def test_python_in_system_dir(self, path):
+        assert classify_executable(path) is ExecutableCategory.PYTHON
+
+    def test_python_in_user_dir_counts_as_user(self):
+        """A user-installed interpreter (e.g. miniconda) is a USER executable."""
+        assert classify_executable("/project/p/u/miniconda3/bin/python3.10") \
+            is ExecutableCategory.USER
+
+    def test_python_lookalike_not_interpreter(self):
+        assert not is_python_interpreter("/usr/bin/python-config")
+        assert not is_python_interpreter("/usr/bin/pythonista2")
+        assert is_python_interpreter("/usr/bin/python3.6")
+
+    def test_classify_process_ignores_argv(self):
+        assert classify_process("/usr/bin/bash", ("/usr/bin/bash", "script.py")) \
+            is ExecutableCategory.SYSTEM
+
+
+class TestExtractScriptPath:
+    def test_simple_invocation(self):
+        argv = ("/usr/bin/python3.10", "/users/a/run.py")
+        assert extract_script_path(argv) == "/users/a/run.py"
+
+    def test_skips_options(self):
+        argv = ("/usr/bin/python3.10", "-u", "-X", "dev", "/users/a/run.py", "--arg")
+        assert extract_script_path(argv) == "/users/a/run.py"
+
+    def test_minus_c_has_no_script(self):
+        assert extract_script_path(("/usr/bin/python3", "-c", "print(1)")) is None
+
+    def test_module_invocation_has_no_script(self):
+        assert extract_script_path(("/usr/bin/python3", "-m", "json.tool")) is None
+
+    def test_no_arguments(self):
+        assert extract_script_path(("/usr/bin/python3",)) is None
+
+
+class TestDefaultPolicy:
+    """The default policy must match Table 1 of the paper exactly."""
+
+    def test_system_scope(self):
+        scope = DEFAULT_POLICY.system
+        assert scope.file_metadata and scope.libraries
+        assert not (scope.modules or scope.compilers or scope.memory_map or scope.file_hash
+                    or scope.strings_hash or scope.symbols_hash)
+
+    def test_user_scope_collects_everything(self):
+        scope = DEFAULT_POLICY.user
+        assert all([scope.file_metadata, scope.libraries, scope.modules, scope.compilers,
+                    scope.memory_map, scope.file_hash, scope.strings_hash, scope.symbols_hash])
+
+    def test_python_interpreter_scope(self):
+        scope = DEFAULT_POLICY.python_interpreter
+        assert scope.file_metadata and scope.libraries and scope.memory_map
+        assert not (scope.modules or scope.compilers or scope.file_hash
+                    or scope.strings_hash or scope.symbols_hash)
+
+    def test_python_script_scope(self):
+        scope = DEFAULT_POLICY.python_script
+        assert scope.file_metadata and scope.file_hash
+        assert not (scope.libraries or scope.modules or scope.compilers or scope.memory_map
+                    or scope.strings_hash or scope.symbols_hash)
+
+    def test_for_category_dispatch(self):
+        assert DEFAULT_POLICY.for_category(ExecutableCategory.SYSTEM) is DEFAULT_POLICY.system
+        assert DEFAULT_POLICY.for_category(ExecutableCategory.USER) is DEFAULT_POLICY.user
+        assert DEFAULT_POLICY.for_category(ExecutableCategory.PYTHON) \
+            is DEFAULT_POLICY.python_interpreter
+
+    def test_rank_zero_only(self):
+        assert DEFAULT_POLICY.should_collect_rank("0")
+        assert DEFAULT_POLICY.should_collect_rank(0)
+        assert not DEFAULT_POLICY.should_collect_rank("3")
+        assert DEFAULT_POLICY.should_collect_rank("")      # outside a Slurm step
+        assert DEFAULT_POLICY.should_collect_rank(None)
+
+    def test_full_policy_collects_all_ranks(self):
+        assert FULL_POLICY.should_collect_rank("7")
+        assert FULL_POLICY.system.file_hash
+
+    def test_custom_policy(self):
+        policy = CollectionPolicy(rank_zero_only=False,
+                                  system=ScopePolicy(file_metadata=False))
+        assert policy.should_collect_rank("9")
+        assert not policy.for_category(ExecutableCategory.SYSTEM).file_metadata

@@ -1,0 +1,206 @@
+"""Tests for the artifact hasher and the SIREN collector hook."""
+
+import pytest
+
+from repro.collector.classify import ExecutableCategory
+from repro.collector.fuzzy import ArtifactHasher
+from repro.collector.hooks import SirenCollector
+from repro.collector.policy import CollectionPolicy, ScopePolicy
+from repro.collector.records import InfoType, Layer
+from repro.db.store import MessageStore
+from repro.hashing.ssdeep import compare
+from repro.hpcsim.slurm import JobScript, ProcessSpec, StepSpec
+from repro.transport.channel import InMemoryChannel
+from repro.transport.receiver import MessageReceiver
+from repro.transport.sender import UDPSender
+
+
+class TestArtifactHasher:
+    def test_executable_hashes_all_present(self, app_cluster):
+        cluster, manifest = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem)
+        icon = manifest.find_executable("icon", "cray-r1", "alice")
+        hashes = hasher.executable_hashes(icon.path)
+        assert hashes.file_hash.count(":") == 2
+        assert hashes.strings_hash.count(":") == 2
+        assert hashes.symbols_hash.count(":") == 2
+
+    def test_cache_hit_on_second_call(self, app_cluster):
+        cluster, manifest = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem)
+        path = manifest.find_executable("icon", "cray-r1", "alice").path
+        hasher.executable_hashes(path)
+        computed = hasher.hashes_computed
+        hasher.executable_hashes(path)
+        assert hasher.hashes_computed == computed
+        assert hasher.cache_hits >= 1
+
+    def test_cache_invalidated_on_mtime_change(self, app_cluster):
+        cluster, manifest = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem)
+        path = manifest.tool("bash")
+        first = hasher.executable_hashes(path)
+        cluster.filesystem.advance_clock(10)
+        cluster.filesystem.add_file(path, cluster.filesystem.read(path) + b"\x00appended",
+                                    executable=True)
+        second = hasher.executable_hashes(path)
+        assert first.file_hash != second.file_hash
+
+    def test_cache_can_be_disabled(self, app_cluster):
+        cluster, manifest = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem, cache_enabled=False)
+        path = manifest.tool("bash")
+        hasher.executable_hashes(path)
+        hasher.executable_hashes(path)
+        assert hasher.hashes_computed == 2
+
+    def test_list_hash_memoised(self, app_cluster):
+        cluster, _ = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem)
+        first = hasher.list_hash(["/lib64/libc.so.6", "/lib64/libm.so.6"])
+        second = hasher.list_hash("/lib64/libc.so.6\n/lib64/libm.so.6")
+        assert first == second
+        assert hasher.cache_hits >= 1
+
+    def test_similar_symbol_tables_similar_hashes(self, app_cluster):
+        cluster, manifest = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem)
+        r1 = manifest.find_executable("icon", "cray-r1", "alice").path
+        r2 = manifest.find_executable("icon", "cray-r2", "alice").path
+        h1 = hasher.executable_hashes(r1)
+        h2 = hasher.executable_hashes(r2)
+        assert compare(h1.symbols_hash, h2.symbols_hash) >= 90
+
+    def test_script_hash(self, app_cluster):
+        cluster, _ = app_cluster
+        cluster.filesystem.add_file("/users/alice/s.py", b"import numpy\nprint(42)\n" * 20)
+        hasher = ArtifactHasher(cluster.filesystem)
+        assert hasher.script_hash("/users/alice/s.py").count(":") == 2
+        hasher.script_hash("/users/alice/s.py")
+        assert hasher.cache_hits >= 1
+
+    def test_clear_cache(self, app_cluster):
+        cluster, manifest = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem)
+        hasher.executable_hashes(manifest.tool("bash"))
+        hasher.clear_cache()
+        hasher.executable_hashes(manifest.tool("bash"))
+        assert hasher.hashes_computed == 2
+
+
+def _run_one(cluster, manifest, executable, *, ranks=1, modules=("siren",), argv=None,
+             python_script=None, imported_packages=(), mapped_files=()):
+    """Helper: run one process through a fresh collector and return its messages."""
+    store = MessageStore()
+    channel = InMemoryChannel()
+    receiver = MessageReceiver(store)
+    receiver.attach(channel)
+    collector = SirenCollector(cluster.filesystem, UDPSender(channel), manifest.siren_library)
+    cluster.register_preload_hook(collector)
+    try:
+        script = JobScript(name="t", modules=tuple(modules), steps=(
+            StepSpec(processes=(ProcessSpec(executable=executable, ranks=ranks,
+                                            argv=argv or (executable,),
+                                            python_script=python_script,
+                                            imported_packages=imported_packages,
+                                            mapped_files=mapped_files),)),))
+        cluster.run_job("alice", script)
+    finally:
+        cluster.runtime.unregister_hook(manifest.siren_library)
+    receiver.flush()
+    return collector, store
+
+
+class TestSirenCollector:
+    def test_user_executable_gets_full_treatment(self, app_cluster):
+        cluster, manifest = app_cluster
+        icon = manifest.find_executable("icon", "cray-r1", "alice")
+        collector, store = _run_one(cluster, manifest, icon.path,
+                                    modules=("siren", *icon.required_modules))
+        types = {row[7] for row in store.iter_messages()}
+        for expected in (InfoType.PROCINFO, InfoType.FILEMETA, InfoType.OBJECTS,
+                         InfoType.OBJECTS_H, InfoType.MODULES, InfoType.MODULES_H,
+                         InfoType.COMPILERS, InfoType.COMPILERS_H, InfoType.MAPS,
+                         InfoType.MAPS_H, InfoType.FILE_H, InfoType.STRINGS_H,
+                         InfoType.SYMBOLS_H, InfoType.PROCEND):
+            assert expected.value in types
+        assert collector.processes_collected == 1
+
+    def test_system_executable_is_not_hashed(self, app_cluster):
+        cluster, manifest = app_cluster
+        _, store = _run_one(cluster, manifest, manifest.tool("bash"))
+        types = {row[7] for row in store.iter_messages()}
+        assert InfoType.OBJECTS.value in types
+        assert InfoType.FILE_H.value not in types
+        assert InfoType.MODULES.value not in types
+        assert InfoType.COMPILERS.value not in types
+
+    def test_rank_zero_only(self, app_cluster):
+        cluster, manifest = app_cluster
+        icon = manifest.find_executable("icon", "cray-r1", "alice")
+        collector, _ = _run_one(cluster, manifest, icon.path, ranks=4,
+                                modules=("siren", *icon.required_modules))
+        assert collector.processes_collected == 1
+        assert collector.processes_skipped == 3
+
+    def test_no_collection_without_siren_module(self, app_cluster):
+        cluster, manifest = app_cluster
+        collector, store = _run_one(cluster, manifest, manifest.tool("bash"), modules=())
+        assert collector.processes_collected == 0
+        assert store.message_count() == 0
+
+    def test_python_interpreter_script_layer(self, app_cluster):
+        cluster, manifest = app_cluster
+        script_path = "/users/alice/scripts/pytest_case.py"
+        cluster.filesystem.add_file(script_path, b"import numpy\nimport heapq\n")
+        interpreter = manifest.interpreter("python3.10")
+        _, store = _run_one(cluster, manifest, interpreter,
+                            argv=(interpreter, script_path), python_script=script_path)
+        layers_types = {(row[6], row[7]) for row in store.iter_messages()}
+        assert (Layer.SCRIPT.value, InfoType.FILE_H.value) in layers_types
+        assert (Layer.SCRIPT.value, InfoType.FILEMETA.value) in layers_types
+        assert (Layer.SELF.value, InfoType.MAPS.value) in layers_types
+        # Interpreter itself is not fuzzy hashed under the default policy.
+        assert (Layer.SELF.value, InfoType.FILE_H.value) not in layers_types
+
+    def test_missing_script_fails_gracefully(self, app_cluster):
+        cluster, manifest = app_cluster
+        interpreter = manifest.interpreter("python3.10")
+        collector, store = _run_one(cluster, manifest, interpreter,
+                                    argv=(interpreter, "/users/alice/notthere.py"))
+        assert collector.processes_collected == 1
+        layers = {row[6] for row in store.iter_messages()}
+        assert Layer.SCRIPT.value not in layers
+
+    def test_custom_policy_restricts_collection(self, app_cluster):
+        cluster, manifest = app_cluster
+        policy = CollectionPolicy(user=ScopePolicy(file_metadata=True), rank_zero_only=True)
+        store = MessageStore()
+        channel = InMemoryChannel()
+        MessageReceiver(store).attach(channel)
+        receiver = MessageReceiver(store)
+        receiver.attach(channel)
+        collector = SirenCollector(cluster.filesystem, UDPSender(channel),
+                                   manifest.siren_library, policy=policy)
+        cluster.register_preload_hook(collector)
+        try:
+            icon = manifest.find_executable("icon", "cray-r1", "alice")
+            script = JobScript(name="t", modules=("siren", *icon.required_modules),
+                               steps=(StepSpec(processes=(ProcessSpec(executable=icon.path),)),))
+            cluster.run_job("alice", script)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        receiver.flush()
+        types = {row[7] for row in store.iter_messages()}
+        assert InfoType.FILE_H.value not in types
+        assert InfoType.FILEMETA.value in types
+
+    def test_header_fields_populated(self, app_cluster):
+        cluster, manifest = app_cluster
+        _, store = _run_one(cluster, manifest, manifest.tool("bash"))
+        row = next(iter(store.iter_messages()))
+        jobid, stepid, pid, path_hash, host, time = row[0], row[1], row[2], row[3], row[4], row[5]
+        assert jobid and stepid == "0" and pid >= 1000
+        assert len(path_hash) == 32
+        assert host.startswith("nid")
+        assert time > 0

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixture is a small-scale deployment campaign (a few thousand
+simulated processes); it is session-scoped so the analysis and integration
+tests can all share one run.  Component tests build their own tiny clusters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collector.hooks import SirenCollector
+from repro.core import AnalysisPipeline, SirenConfig, SirenFramework
+from repro.corpus.builder import CorpusBuilder, CorpusManifest
+from repro.corpus.packages import ICON, LAMMPS
+from repro.hpcsim.cluster import Cluster
+from repro.util.rng import SeededRNG
+from repro.workload import CampaignConfig, CampaignResult, DeploymentCampaign
+
+
+@pytest.fixture(scope="session")
+def campaign_result() -> CampaignResult:
+    """One shared small-scale campaign run (deterministic)."""
+    config = CampaignConfig(scale=0.004, seed=1, loss_rate=0.0002)
+    return DeploymentCampaign(config=config).run()
+
+
+@pytest.fixture(scope="session")
+def pipeline(campaign_result: CampaignResult) -> AnalysisPipeline:
+    """Analysis pipeline over the shared campaign."""
+    return AnalysisPipeline(campaign_result.records, campaign_result.user_names)
+
+
+@pytest.fixture(scope="session")
+def campaign_records(campaign_result: CampaignResult):
+    """Consolidated records of the shared campaign."""
+    return campaign_result.records
+
+
+@pytest.fixture()
+def rng() -> SeededRNG:
+    """A fresh deterministic RNG."""
+    return SeededRNG(1234)
+
+
+@pytest.fixture(scope="module")
+def base_cluster() -> tuple[Cluster, CorpusManifest]:
+    """A cluster with the base corpus (libraries, tools, Python, siren) installed."""
+    cluster = Cluster()
+    builder = CorpusBuilder(cluster)
+    manifest = builder.install_base_system()
+    return cluster, manifest
+
+
+@pytest.fixture(scope="module")
+def app_cluster() -> tuple[Cluster, CorpusManifest]:
+    """A cluster with the base corpus plus ICON and LAMMPS installed for one user."""
+    cluster = Cluster()
+    builder = CorpusBuilder(cluster)
+    manifest = builder.install_base_system()
+    user = cluster.add_user("alice")
+    builder.install_package(ICON, user)
+    builder.install_package(LAMMPS, user)
+    return cluster, manifest
+
+
+@pytest.fixture()
+def deployed_framework(app_cluster) -> tuple[Cluster, CorpusManifest, SirenFramework, SirenCollector]:
+    """A SIREN framework deployed (fresh per test) on the shared app cluster."""
+    cluster, manifest = app_cluster
+    framework = SirenFramework(SirenConfig(loss_rate=0.0))
+    collector = framework.deploy(cluster, siren_library_path=manifest.siren_library)
+    yield cluster, manifest, framework, collector
+    cluster.runtime.unregister_hook(manifest.siren_library)

@@ -1,0 +1,101 @@
+"""Tests for the SirenFramework facade and the AnalysisPipeline."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, SirenConfig, SirenFramework
+from repro.hpcsim.slurm import JobScript, ProcessSpec, StepSpec
+from repro.util.errors import CollectionError
+
+
+class TestSirenFramework:
+    def test_deploy_and_collect(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0))
+        collector = framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            icon = manifest.find_executable("icon", "cray-r1", "alice")
+            script = JobScript(name="t", modules=("siren", *icon.required_modules),
+                               steps=(StepSpec(processes=(
+                                   ProcessSpec(executable=icon.path),
+                                   ProcessSpec(executable=manifest.tool("bash")),)),))
+            cluster.run_job("alice", script)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        records = framework.consolidate()
+        assert len(records) == 2
+        stats = framework.statistics()
+        assert stats["processes_collected"] == 2
+        assert stats["messages_received"] > 0
+        assert collector.section_errors == 0
+
+    def test_double_deploy_rejected(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            with pytest.raises(CollectionError):
+                framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+
+    def test_lossy_channel_statistics(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.5, rng_seed=1))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            script = JobScript(name="t", modules=("siren",), steps=(StepSpec(processes=(
+                ProcessSpec(executable=manifest.tool("bash"), count=20),)),))
+            cluster.run_job("alice", script)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        stats = framework.statistics()
+        assert stats["datagrams_dropped"] > 0
+        assert 0.3 < stats["observed_loss_rate"] < 0.7
+
+
+class TestAnalysisPipeline:
+    def test_tables_present_and_consistent(self, pipeline, campaign_result):
+        table2 = pipeline.table2_user_activity()
+        assert {row.user for row in table2} >= {"user_1", "user_4", "user_8"}
+        totals = pipeline.table2_totals()
+        assert totals.job_count == sum(row.job_count for row in table2)
+
+        table3 = pipeline.table3_system_executables(top=10)
+        assert len(table3) == 10
+        assert all(row.process_count >= 1 for row in table3)
+
+        table5 = pipeline.table5_user_applications()
+        labels = {row.label for row in table5}
+        assert {"LAMMPS", "GROMACS", "icon", "UNKNOWN"} <= labels
+
+        table6 = pipeline.table6_compilers()
+        assert any("GCC [SUSE]" in row.compilers for row in table6)
+
+        table8 = pipeline.table8_python_interpreters()
+        assert {row.interpreter for row in table8} == {"python3.6", "python3.10", "python3.11"}
+
+    def test_figures_present(self, pipeline):
+        figure2 = pipeline.figure2_library_usage()
+        assert {row.tag for row in figure2} >= {"siren", "pthread", "cray"}
+        figure3 = pipeline.figure3_python_packages()
+        assert {row.package for row in figure3} >= {"heapq", "struct", "numpy"}
+        figure4 = pipeline.figure4_compiler_matrix()
+        assert "icon" in figure4.row_labels
+        figure5 = pipeline.figure5_library_matrix()
+        assert figure5.value("icon", "climatedt") == 1
+
+    def test_table7_identifies_unknown_as_icon(self, pipeline):
+        searches = pipeline.table7_similarity_search(top=5)
+        assert searches
+        for results in searches.values():
+            assert results[0].label == "icon"
+
+    def test_render_all_contains_every_section(self, pipeline):
+        rendered = pipeline.render_all()
+        for section in ("Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7",
+                        "Table 8", "Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+            assert section in rendered
+
+    def test_similarity_search_accessor(self, pipeline):
+        search = pipeline.similarity_search()
+        assert search.unknown_instances()

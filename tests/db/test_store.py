@@ -1,0 +1,95 @@
+"""Tests for the SQLite message store and process records."""
+
+import pytest
+
+from repro.collector.records import InfoType, Layer
+from repro.db.store import MessageStore, ProcessRecord
+from repro.transport.messages import UDPMessage
+
+
+def _message(info_type: InfoType = InfoType.PROCINFO, pid: int = 1,
+             content: str = "x") -> UDPMessage:
+    return UDPMessage(jobid="10", stepid="0", pid=pid, path_hash="f" * 32, host="n1",
+                      time=500, layer=Layer.SELF, info_type=info_type, content=content)
+
+
+class TestMessageStorage:
+    def test_insert_and_count(self):
+        store = MessageStore()
+        store.insert(_message())
+        assert store.message_count() == 1
+
+    def test_insert_many(self):
+        store = MessageStore()
+        assert store.insert_many([_message(pid=i) for i in range(10)]) == 10
+        assert store.message_count() == 10
+
+    def test_iter_messages_ordering(self):
+        store = MessageStore()
+        store.insert_many([_message(InfoType.OBJECTS, pid=2), _message(InfoType.FILEMETA, pid=1)])
+        rows = list(store.iter_messages())
+        assert rows[0][2] == 1 and rows[1][2] == 2
+
+    def test_clear_messages(self):
+        store = MessageStore()
+        store.insert(_message())
+        store.clear_messages()
+        assert store.message_count() == 0
+
+    def test_file_backed_store(self, tmp_path):
+        path = str(tmp_path / "siren.db")
+        store = MessageStore(path)
+        store.insert(_message())
+        store.close()
+        reopened = MessageStore(path)
+        assert reopened.message_count() == 1
+        reopened.close()
+
+    def test_context_manager(self):
+        with MessageStore() as store:
+            store.insert(_message())
+            assert store.message_count() == 1
+
+
+class TestProcessRecords:
+    def _record(self) -> ProcessRecord:
+        return ProcessRecord(
+            jobid="10", stepid="0", pid=5, hash="f" * 32, host="n1", time=100,
+            uid=1000, executable="/project/p/u/icon-model/bin-x/icon", category="user",
+            objects="/lib64/libc.so.6\n/lib64/libm.so.6",
+            compilers="GCC: (SUSE Linux) 12.3.0;clang version 17.0.1 (Cray PE 24.03)",
+            modules="siren/0.1:cce/17.0.1",
+            python_packages="numpy,heapq",
+        )
+
+    def test_insert_and_load(self):
+        store = MessageStore()
+        store.insert_processes([self._record()])
+        assert store.process_count() == 1
+        loaded = store.load_processes()[0]
+        assert loaded.executable_name == "icon"
+        assert loaded.category == "user"
+
+    def test_list_properties(self):
+        record = self._record()
+        assert record.object_list == ["/lib64/libc.so.6", "/lib64/libm.so.6"]
+        assert len(record.compiler_list) == 2
+        assert record.module_list == ["siren/0.1", "cce/17.0.1"]
+        assert record.python_package_list == ["numpy", "heapq"]
+
+    def test_empty_lists(self):
+        record = ProcessRecord(jobid="1", stepid="0", pid=1, hash="", host="", time=0)
+        assert record.object_list == []
+        assert record.compiler_list == []
+        assert record.module_list == []
+        assert record.python_package_list == []
+
+    def test_roundtrip_preserves_all_fields(self):
+        store = MessageStore()
+        record = self._record()
+        store.insert_processes([record])
+        loaded = store.load_processes()[0]
+        assert loaded.objects == record.objects
+        assert loaded.compilers == record.compilers
+        assert loaded.uid == 1000
+        assert loaded.incomplete == 0

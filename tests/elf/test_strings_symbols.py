@@ -1,0 +1,70 @@
+"""Tests for printable-string extraction and nm-style symbol listings."""
+
+import pytest
+
+from repro.elf.builder import ELFBuilder
+from repro.elf.reader import ELFFile
+from repro.elf.strings import extract_strings, strings_blob
+from repro.elf.symbols import nm_listing, symbol_names
+from repro.elf.structures import Symbol
+from repro.elf.constants import STB_GLOBAL, STT_FUNC
+
+
+class TestExtractStrings:
+    def test_finds_ascii_runs(self):
+        data = b"\x00\x01LAMMPS version 2024\x00\xffgmx_mdrun\x02"
+        assert extract_strings(data) == ["LAMMPS version 2024", "gmx_mdrun"]
+
+    def test_min_length_filter(self):
+        data = b"ab\x00abcd\x00abcdef"
+        assert extract_strings(data, min_length=4) == ["abcd", "abcdef"]
+        assert extract_strings(data, min_length=2) == ["ab", "abcd", "abcdef"]
+
+    def test_trailing_run_included(self):
+        assert extract_strings(b"\x00ends with text") == ["ends with text"]
+
+    def test_tabs_count_as_printable(self):
+        assert extract_strings(b"col1\tcol2\x00") == ["col1\tcol2"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            extract_strings(b"abc", min_length=0)
+
+    def test_empty_input(self):
+        assert extract_strings(b"") == []
+
+    def test_blob_joins_with_newlines(self):
+        data = b"first string\x00\x01second string\x00"
+        assert strings_blob(data) == "first string\nsecond string"
+
+
+class TestNmListing:
+    def _elf(self, functions, objects=()):
+        builder = ELFBuilder()
+        builder.set_text_from_source("x", size=256)
+        builder.add_global_functions(list(functions))
+        builder.add_global_objects(list(objects))
+        return ELFFile(builder.build())
+
+    def test_listing_format(self):
+        listing = nm_listing(self._elf(["zeta", "alpha"], objects=["data_obj"]))
+        lines = listing.splitlines()
+        assert "D data_obj" in lines
+        assert "T alpha" in lines and "T zeta" in lines
+
+    def test_listing_is_sorted_and_order_independent(self):
+        a = nm_listing(self._elf(["b_func", "a_func"]))
+        b = nm_listing(self._elf(["a_func", "b_func"]))
+        assert a == b
+        assert a.splitlines() == sorted(a.splitlines())
+
+    def test_empty_symbol_table(self):
+        builder = ELFBuilder().set_text_from_source("x", size=128)
+        assert nm_listing(ELFFile(builder.build())) == ""
+
+
+class TestSymbolNames:
+    def test_unique_sorted(self):
+        symbols = [Symbol.create(0, STB_GLOBAL, STT_FUNC, 0, 0, 1, name=n)
+                   for n in ("b", "a", "b", "")]
+        assert symbol_names(symbols) == ["a", "b"]

@@ -1,0 +1,140 @@
+"""Tests for the ELF binary structures."""
+
+import pytest
+
+from repro.elf.constants import (
+    EHDR_SIZE,
+    ET_DYN,
+    ET_EXEC,
+    SHDR_SIZE,
+    STB_GLOBAL,
+    STT_FUNC,
+    SYM_SIZE,
+    st_bind,
+    st_info,
+    st_type,
+)
+from repro.elf.structures import (
+    DynamicEntry,
+    ELFHeader,
+    ProgramHeader,
+    SectionHeader,
+    StringTable,
+    Symbol,
+)
+from repro.util.errors import ELFError
+
+
+class TestSymbolInfoPacking:
+    def test_roundtrip(self):
+        info = st_info(STB_GLOBAL, STT_FUNC)
+        assert st_bind(info) == STB_GLOBAL
+        assert st_type(info) == STT_FUNC
+
+
+class TestELFHeader:
+    def test_pack_size(self):
+        assert len(ELFHeader().pack()) == EHDR_SIZE
+
+    def test_roundtrip(self):
+        header = ELFHeader(e_type=ET_DYN, e_shoff=512, e_shnum=7, e_shstrndx=6)
+        assert ELFHeader.unpack(header.pack()) == header
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ELFError):
+            ELFHeader.unpack(b"\x7fELF")
+
+    def test_rejects_bad_magic(self):
+        data = bytearray(ELFHeader().pack())
+        data[0] = 0x00
+        with pytest.raises(ELFError):
+            ELFHeader.unpack(bytes(data))
+
+    def test_rejects_32_bit(self):
+        data = bytearray(ELFHeader().pack())
+        data[4] = 1  # ELFCLASS32
+        with pytest.raises(ELFError):
+            ELFHeader.unpack(bytes(data))
+
+    def test_default_is_executable(self):
+        assert ELFHeader().e_type == ET_EXEC
+
+
+class TestSectionHeader:
+    def test_pack_size(self):
+        assert len(SectionHeader().pack()) == SHDR_SIZE
+
+    def test_roundtrip_preserves_fields(self):
+        original = SectionHeader(sh_name=5, sh_type=1, sh_flags=6, sh_addr=0x400000,
+                                 sh_offset=128, sh_size=64, sh_link=2, sh_info=1,
+                                 sh_addralign=16, sh_entsize=24)
+        parsed = SectionHeader.unpack(original.pack())
+        assert parsed.sh_offset == 128 and parsed.sh_size == 64 and parsed.sh_entsize == 24
+
+    def test_name_not_compared(self):
+        assert SectionHeader(name="a") == SectionHeader(name="b")
+
+
+class TestSymbol:
+    def test_pack_size(self):
+        assert len(Symbol().pack()) == SYM_SIZE
+
+    def test_create_and_properties(self):
+        symbol = Symbol.create(10, STB_GLOBAL, STT_FUNC, 0x401000, 64, 1, name="main")
+        assert symbol.binding == STB_GLOBAL
+        assert symbol.symbol_type == STT_FUNC
+        assert symbol.name == "main"
+
+    def test_roundtrip(self):
+        symbol = Symbol.create(3, STB_GLOBAL, STT_FUNC, 0x1234, 8, 1)
+        parsed = Symbol.unpack(symbol.pack())
+        assert parsed.st_value == 0x1234 and parsed.st_info == symbol.st_info
+
+    def test_truncated_raises(self):
+        with pytest.raises(ELFError):
+            Symbol.unpack(b"\x00" * 10)
+
+
+class TestDynamicEntry:
+    def test_roundtrip(self):
+        entry = DynamicEntry(d_tag=1, d_val=42)
+        assert DynamicEntry.unpack(entry.pack()) == entry
+
+    def test_truncated_raises(self):
+        with pytest.raises(ELFError):
+            DynamicEntry.unpack(b"\x01\x02")
+
+
+class TestProgramHeader:
+    def test_roundtrip(self):
+        phdr = ProgramHeader(p_type=1, p_flags=5, p_offset=0, p_vaddr=0x400000,
+                             p_paddr=0x400000, p_filesz=4096, p_memsz=4096)
+        assert ProgramHeader.unpack(phdr.pack()) == phdr
+
+
+class TestStringTable:
+    def test_starts_with_nul(self):
+        table = StringTable()
+        assert table.pack()[0] == 0
+
+    def test_add_and_get(self):
+        table = StringTable()
+        offset = table.add(".text")
+        assert table.get(offset) == ".text"
+
+    def test_deduplicates(self):
+        table = StringTable()
+        assert table.add("libm.so.6") == table.add("libm.so.6")
+
+    def test_empty_string_offset_zero(self):
+        assert StringTable().add("") == 0
+
+    def test_out_of_range_get(self):
+        with pytest.raises(ELFError):
+            StringTable().get(999)
+
+    def test_len_grows(self):
+        table = StringTable()
+        before = len(table)
+        table.add("abc")
+        assert len(table) == before + 4

@@ -1,0 +1,84 @@
+"""Tests for the edit distances used in fuzzy-hash comparison."""
+
+import pytest
+
+from repro.hashing.edit_distance import (
+    damerau_levenshtein,
+    has_common_substring,
+    levenshtein,
+    weighted_edit_distance,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abd", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein("ab", "ba") == 1
+        assert levenshtein("ab", "ba") == 2
+
+    def test_ca_abc(self):
+        # Classic OSA example: restricted Damerau distance is 3.
+        assert damerau_levenshtein("ca", "abc") == 3
+
+    def test_equal_strings(self):
+        assert damerau_levenshtein("same", "same") == 0
+
+
+class TestWeightedEditDistance:
+    def test_default_substitution_costs_two(self):
+        assert weighted_edit_distance("abc", "abd") == 2
+
+    def test_substitution_never_worse_than_indel_pair(self):
+        # With substitute=2 == insert+delete, distance equals 2 either way.
+        assert weighted_edit_distance("a", "b") == 2
+
+    def test_custom_costs(self):
+        assert weighted_edit_distance("abc", "abd", substitute_cost=5,
+                                      insert_cost=1, delete_cost=1) == 2  # delete+insert wins
+
+    def test_transpose_disabled(self):
+        assert weighted_edit_distance("ab", "ba", transpose_cost=None,
+                                      substitute_cost=1) == 2
+
+    def test_empty_inputs(self):
+        assert weighted_edit_distance("", "xyz") == 3
+        assert weighted_edit_distance("xyz", "", delete_cost=4) == 12
+
+    def test_triangle_inequality_sample(self):
+        a, b, c = "sirensoftware", "sirensw", "software"
+        assert weighted_edit_distance(a, c) <= \
+            weighted_edit_distance(a, b) + weighted_edit_distance(b, c)
+
+
+class TestHasCommonSubstring:
+    def test_short_strings_never_match(self):
+        assert not has_common_substring("abc", "abc", length=7)
+
+    def test_shared_7_gram(self):
+        assert has_common_substring("xxABCDEFGxx", "yyABCDEFGyy", length=7)
+
+    def test_no_shared_7_gram(self):
+        assert not has_common_substring("abcdefghijk", "zyxwvutsrqp", length=7)
+
+    def test_identical_long_strings(self):
+        text = "A" * 3 + "BCDEFGH" + "I" * 3
+        assert has_common_substring(text, text, length=7)

@@ -1,0 +1,46 @@
+"""Tests for the FNV hashes and the ssdeep piece hash."""
+
+from repro.hashing.fnv import (
+    FNV32_PRIME,
+    SSDEEP_HASH_INIT,
+    fnv1_32,
+    fnv1a_32,
+    fnv1a_64,
+    sum_hash,
+    sum_hash_bytes,
+)
+
+
+class TestSumHash:
+    def test_single_step(self):
+        assert sum_hash(0x41, SSDEEP_HASH_INIT) == \
+            ((SSDEEP_HASH_INIT * FNV32_PRIME) & 0xFFFFFFFF) ^ 0x41
+
+    def test_bytes_equivalent_to_steps(self):
+        state = SSDEEP_HASH_INIT
+        for byte in b"hello":
+            state = sum_hash(byte, state)
+        assert state == sum_hash_bytes(b"hello")
+
+    def test_stays_32_bit(self):
+        assert 0 <= sum_hash_bytes(bytes(range(256)) * 10) < 2 ** 32
+
+
+class TestFNV:
+    def test_fnv1a_32_known_vector(self):
+        # Standard FNV-1a test vectors.
+        assert fnv1a_32(b"") == 0x811C9DC5
+        assert fnv1a_32(b"a") == 0xE40C292C
+
+    def test_fnv1a_64_known_vector(self):
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_fnv1_differs_from_fnv1a(self):
+        assert fnv1_32(b"hello world") != fnv1a_32(b"hello world")
+
+    def test_different_inputs_differ(self):
+        assert fnv1a_64(b"abc") != fnv1a_64(b"abd")
+
+    def test_deterministic(self):
+        assert fnv1a_64(b"payload") == fnv1a_64(b"payload")

@@ -1,0 +1,124 @@
+"""Tests for the UDP message format and chunking."""
+
+import pytest
+
+from repro.collector.records import InfoType, Layer, format_keyvalues, parse_keyvalues
+from repro.transport.chunking import reassemble_chunks, split_content
+from repro.transport.messages import MAX_DATAGRAM_SIZE, UDPMessage
+from repro.util.errors import TransportError
+
+
+def _message(content: str = "hello", info_type: InfoType = InfoType.PROCINFO) -> UDPMessage:
+    return UDPMessage(jobid="9100001", stepid="0", pid=1234, path_hash="ab" * 16,
+                      host="nid000001", time=1_733_000_000, layer=Layer.SELF,
+                      info_type=info_type, content=content)
+
+
+class TestKeyValueFormat:
+    def test_roundtrip(self):
+        pairs = {"pid": 12, "exe": "/usr/bin/bash", "category": "system"}
+        assert parse_keyvalues(format_keyvalues(pairs)) == {
+            "pid": "12", "exe": "/usr/bin/bash", "category": "system"}
+
+    def test_empty_content(self):
+        assert parse_keyvalues("") == {}
+
+    def test_value_with_equals_sign(self):
+        parsed = parse_keyvalues(format_keyvalues({"flag": "a=b"}))
+        assert parsed["flag"] == "a=b"
+
+
+class TestUDPMessage:
+    def test_encode_decode_roundtrip(self):
+        message = _message("the content")
+        assert UDPMessage.decode(message.encode()) == message
+
+    def test_all_header_fields_preserved(self):
+        message = _message()
+        decoded = UDPMessage.decode(message.encode())
+        assert decoded.jobid == "9100001"
+        assert decoded.stepid == "0"
+        assert decoded.pid == 1234
+        assert decoded.path_hash == "ab" * 16
+        assert decoded.host == "nid000001"
+        assert decoded.time == 1_733_000_000
+        assert decoded.layer is Layer.SELF
+        assert decoded.info_type is InfoType.PROCINFO
+
+    def test_chunk_fields(self):
+        chunked = _message().with_chunk("part", 2, 5)
+        decoded = UDPMessage.decode(chunked.encode())
+        assert decoded.chunk_index == 2 and decoded.chunk_total == 5
+        assert decoded.content == "part"
+
+    def test_rejects_separator_in_content(self):
+        with pytest.raises(TransportError):
+            _message("bad\x1fcontent").encode()
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(TransportError):
+            UDPMessage.decode(b"not a siren datagram")
+        with pytest.raises(TransportError):
+            UDPMessage.decode(b"\xff\xfe")
+
+    def test_decode_rejects_wrong_field_count(self):
+        with pytest.raises(TransportError):
+            UDPMessage.decode("SIREN1\x1fonly\x1fthree".encode())
+
+    def test_process_key(self):
+        message = _message()
+        assert message.process_key == ("9100001", "0", 1234, "ab" * 16, "nid000001")
+
+    def test_header_overhead_reasonable(self):
+        assert 0 < _message().header_overhead() < 200
+
+    def test_unicode_content(self):
+        message = _message("durée=42µs")
+        assert UDPMessage.decode(message.encode()).content == "durée=42µs"
+
+
+class TestChunking:
+    def test_short_content_single_chunk(self):
+        assert split_content("short", 100) == ["short"]
+
+    def test_empty_content(self):
+        assert split_content("", 100) == [""]
+
+    def test_long_content_split_and_reassembled(self):
+        content = "x" * 5000
+        chunks = split_content(content, 1000)
+        assert len(chunks) == 5
+        assert all(len(chunk.encode()) <= 1000 for chunk in chunks)
+        result = reassemble_chunks(dict(enumerate(chunks)), len(chunks))
+        assert result.content == content
+        assert result.complete
+
+    def test_multibyte_characters_not_split(self):
+        content = "é" * 300
+        chunks = split_content(content, 101)
+        assert "".join(chunks) == content
+
+    def test_missing_chunk_detected(self):
+        chunks = split_content("abcdefghij" * 100, 128)
+        received = dict(enumerate(chunks))
+        del received[1]
+        result = reassemble_chunks(received, len(chunks))
+        assert not result.complete
+        assert result.received_chunks == len(chunks) - 1
+        assert len(result.content) < 1000
+
+    def test_unreasonable_chunk_size_rejected(self):
+        with pytest.raises(TransportError):
+            split_content("abc", 2)
+
+    def test_reassemble_validates_total(self):
+        with pytest.raises(TransportError):
+            reassemble_chunks({0: "x"}, 0)
+
+    def test_out_of_range_chunks_ignored(self):
+        result = reassemble_chunks({0: "a", 7: "zzz"}, 2)
+        assert result.content == "a"
+        assert result.received_chunks == 1
+
+    def test_max_datagram_constant_sane(self):
+        assert 512 <= MAX_DATAGRAM_SIZE <= 65507

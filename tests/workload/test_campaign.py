@@ -1,0 +1,74 @@
+"""Tests for the deployment-campaign runner."""
+
+import pytest
+
+from repro.collector.classify import ExecutableCategory
+from repro.workload import CampaignConfig, DeploymentCampaign
+from repro.workload.profiles import PROFILES_BY_NAME
+
+
+class TestCampaignConfig:
+    def test_jobs_scale(self):
+        config = CampaignConfig(scale=0.01, ensure_template_coverage=False)
+        assert config.jobs_for(PROFILES_BY_NAME["user_1"]) == round(11_782 * 0.01)
+        assert config.jobs_for(PROFILES_BY_NAME["user_12"]) == 1
+
+    def test_template_coverage_lifts_minimum(self):
+        config = CampaignConfig(scale=0.0001, ensure_template_coverage=True)
+        profile = PROFILES_BY_NAME["user_8"]
+        assert config.jobs_for(profile) >= len(profile.templates)
+
+
+class TestCampaignExecution:
+    def test_shared_campaign_basic_invariants(self, campaign_result):
+        result = campaign_result
+        assert result.jobs_run == result.cluster.scheduler.job_count
+        assert result.processes_run > 1000
+        assert len(result.records) > 0
+        # Only rank-0 processes are collected, so records < processes.
+        assert len(result.records) <= result.processes_run
+        assert result.collector.processes_collected == \
+            result.processes_run - result.collector.processes_skipped
+        assert result.cluster.runtime.hook_failures == 0
+
+    def test_all_twelve_users_present(self, campaign_result):
+        assert len(campaign_result.user_names) == 12
+        assert set(campaign_result.user_names.values()) == {
+            f"user_{index}" for index in range(1, 13)}
+
+    def test_all_categories_observed(self, campaign_result):
+        categories = {record.category for record in campaign_result.records if record.category}
+        assert categories == {c.value for c in ExecutableCategory}
+
+    def test_udp_loss_produces_small_incomplete_fraction(self, campaign_result):
+        assert campaign_result.channel.datagrams_dropped >= 0
+        assert campaign_result.incomplete_fraction < 0.02
+
+    def test_unknown_icon_instance_present(self, campaign_result):
+        unknown = [record for record in campaign_result.records
+                   if record.executable.endswith("/a.out")]
+        assert unknown
+        assert all(record.category == "user" for record in unknown)
+
+    def test_determinism_of_small_campaign(self):
+        config = CampaignConfig(scale=0.0, seed=7, min_jobs_per_user=1)
+        first = DeploymentCampaign(config=config).run()
+        second = DeploymentCampaign(config=config).run()
+        assert first.jobs_run == second.jobs_run
+        assert first.processes_run == second.processes_run
+        assert len(first.records) == len(second.records)
+        first_exes = sorted(record.executable for record in first.records)
+        second_exes = sorted(record.executable for record in second.records)
+        assert first_exes == second_exes
+
+    def test_prepare_is_idempotent(self):
+        campaign = DeploymentCampaign(CampaignConfig(scale=0.0))
+        campaign.prepare()
+        manifest = campaign.manifest
+        campaign.prepare()
+        assert campaign.manifest is manifest
+
+    def test_zero_loss_campaign_has_no_incomplete_records(self):
+        config = CampaignConfig(scale=0.0, seed=3, loss_rate=0.0)
+        result = DeploymentCampaign(config=config).run()
+        assert result.incomplete_fraction == 0.0

@@ -1,0 +1,161 @@
+"""Tests for the user profiles and the scenario builder."""
+
+import pytest
+
+from repro.corpus.packages import PACKAGES_BY_NAME
+from repro.corpus.python_env import PYTHON_INTERPRETERS_BY_NAME, PYTHON_PACKAGES_BY_NAME
+from repro.corpus.system_tools import SYSTEM_TOOLS_BY_NAME
+from repro.workload.profiles import (
+    BASH_ENVIRONMENT_QUIRKS,
+    DEFAULT_PROFILES,
+    PROFILES_BY_NAME,
+    packages_used_by,
+)
+from repro.workload.scenarios import ScenarioBuilder
+from repro.corpus.builder import CorpusBuilder
+from repro.hpcsim.cluster import Cluster
+
+
+class TestProfiles:
+    def test_twelve_users(self):
+        assert len(DEFAULT_PROFILES) == 12
+        assert {profile.username for profile in DEFAULT_PROFILES} == {
+            f"user_{index}" for index in range(1, 13)}
+
+    def test_job_counts_follow_table2_ordering(self):
+        """user_1 dominates job counts; user_7 and user_12 submit a single job."""
+        by_name = {profile.username: profile.job_count for profile in DEFAULT_PROFILES}
+        assert by_name["user_1"] == max(by_name.values())
+        assert by_name["user_7"] == 1 and by_name["user_12"] == 1
+        assert sum(by_name.values()) == 13_448  # the paper's total job count
+
+    def test_user1_runs_only_system_tools(self):
+        profile = PROFILES_BY_NAME["user_1"]
+        for template in profile.templates:
+            assert not template.app_runs and not template.python_runs
+
+    def test_user6_never_uses_system_directories(self):
+        profile = PROFILES_BY_NAME["user_6"]
+        for template in profile.templates:
+            assert template.system_calls == ()
+            assert template.app_runs
+
+    def test_referenced_tools_packages_interpreters_exist(self):
+        for profile in DEFAULT_PROFILES:
+            for template in profile.templates:
+                for tool, count in template.system_calls:
+                    assert tool in SYSTEM_TOOLS_BY_NAME
+                    assert count >= 1
+                for run in template.app_runs:
+                    package = PACKAGES_BY_NAME[run.package]
+                    assert any(v.variant_id == run.variant_id for v in package.variants)
+                for run in template.python_runs:
+                    assert run.interpreter in PYTHON_INTERPRETERS_BY_NAME
+                    for name in run.packages:
+                        assert name in PYTHON_PACKAGES_BY_NAME
+
+    def test_label_user_multiplicity_matches_table5(self):
+        """LAMMPS and GROMACS are shared by two users; the rest have one owner."""
+        owners: dict[str, set[str]] = {}
+        for profile in DEFAULT_PROFILES:
+            for package in packages_used_by(profile):
+                owners.setdefault(package, set()).add(profile.username)
+        assert len(owners["LAMMPS"]) == 2
+        assert len(owners["GROMACS"]) == 2
+        assert len(owners["icon"]) == 1
+        assert len(owners["amber"]) == 1
+        assert len(owners["janko"]) == 1
+
+    def test_python_interpreter_user_counts_match_table8(self):
+        interpreter_users: dict[str, set[str]] = {}
+        for profile in DEFAULT_PROFILES:
+            for template in profile.templates:
+                for run in template.python_runs:
+                    interpreter_users.setdefault(run.interpreter, set()).add(profile.username)
+        assert len(interpreter_users["python3.10"]) == 2
+        assert len(interpreter_users["python3.6"]) == 1
+        assert len(interpreter_users["python3.11"]) == 1
+
+    def test_quirk_users_exist(self):
+        for username in BASH_ENVIRONMENT_QUIRKS:
+            assert username in PROFILES_BY_NAME
+
+    def test_template_weights_positive(self):
+        for profile in DEFAULT_PROFILES:
+            assert all(weight > 0 for weight in profile.template_weights())
+
+
+class TestScenarioBuilder:
+    @pytest.fixture(scope="class")
+    def builder_env(self):
+        cluster = Cluster()
+        corpus = CorpusBuilder(cluster)
+        manifest = corpus.install_base_system()
+        for profile in DEFAULT_PROFILES:
+            user = cluster.add_user(profile.username)
+            for package_name in packages_used_by(profile):
+                corpus.install_package(PACKAGES_BY_NAME[package_name], user)
+        return cluster, manifest, ScenarioBuilder(cluster, manifest)
+
+    def test_job_script_structure(self, builder_env):
+        cluster, manifest, builder = builder_env
+        profile = PROFILES_BY_NAME["user_8"]
+        template = profile.templates[0]
+        user = cluster.users.get("user_8")
+        script = builder.build_job_script(profile, template, user)
+        assert script.name.startswith("user_8-")
+        assert "siren" in script.modules
+        assert script.total_processes > 0
+        executables = [spec.executable for step in script.steps for spec in step.processes]
+        assert manifest.tool("bash") in executables
+        assert any("icon" in path for path in executables)
+
+    def test_required_stack_modules_included(self, builder_env):
+        cluster, manifest, builder = builder_env
+        profile = PROFILES_BY_NAME["user_8"]
+        template = profile.templates[0]  # icon-coupled
+        user = cluster.users.get("user_8")
+        script = builder.build_job_script(profile, template, user)
+        assert "climatedt" in script.modules
+
+    def test_quirk_module_appended(self, builder_env):
+        cluster, _, builder = builder_env
+        profile = PROFILES_BY_NAME["user_2"]
+        user = cluster.users.get("user_2")
+        script = builder.build_job_script(profile, profile.templates[0], user,
+                                          quirk_module="libtinfo-spack")
+        assert "libtinfo-spack" in script.modules
+
+    def test_python_scripts_created_and_varied(self, builder_env):
+        cluster, _, builder = builder_env
+        profile = PROFILES_BY_NAME["user_5"]
+        template = next(t for t in profile.templates if t.python_runs)
+        user = cluster.users.get("user_5")
+        first = builder.build_job_script(profile, template, user, job_index=0)
+        second = builder.build_job_script(profile, template, user, job_index=1)
+        script_paths = set()
+        for script in (first, second):
+            for step in script.steps:
+                for spec in step.processes:
+                    if spec.python_script:
+                        script_paths.add(spec.python_script)
+                        assert cluster.filesystem.exists(spec.python_script)
+                        assert spec.mapped_files
+        # user_5 varies scripts every job, so two jobs -> two distinct scripts.
+        assert len(script_paths) == 2
+
+    def test_stable_scripts_for_periodic_users(self, builder_env):
+        cluster, _, builder = builder_env
+        profile = PROFILES_BY_NAME["user_4"]
+        template = next(t for t in profile.templates if t.python_runs)
+        user = cluster.users.get("user_4")
+        paths = set()
+        for job_index in (0, 1, 2):
+            script = builder.build_job_script(profile, template, user, job_index=job_index)
+            for step in script.steps:
+                for spec in step.processes:
+                    if spec.python_script:
+                        paths.add(spec.python_script)
+        # Variation period for user_4 is 12 jobs, so the first three reuse scripts.
+        per_tag = len({run.script_tag for run in template.python_runs})
+        assert len(paths) == per_tag
