@@ -7,15 +7,19 @@ modified executables.  These benches measure both on the synthetic corpus.
 """
 
 import hashlib
+import time
 
 import pytest
 
+from repro.analysis.similarity import SimilaritySearch
 from repro.corpus.builder import CorpusBuilder
 from repro.corpus.packages import ICON
 from repro.hashing.ssdeep import FuzzyHasher, compare, fuzzy_hash
 from repro.hpcsim.cluster import Cluster
+from repro.util.errors import AnalysisError
 from repro.util.rng import SeededRNG
 from repro.util.tables import TextTable
+from repro.workload import CampaignConfig, DeploymentCampaign
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +130,69 @@ class TestRecognitionAbility:
         total_content = sum(len(content) for content in icon_variants)
         total_digest = sum(len(digest) for digest in icon_digests)
         assert total_digest < total_content / 100
+
+
+class TestIndexedSimilarityScaling:
+    """Brute-force vs n-gram-indexed similarity search across campaign scales.
+
+    The paper's Table 7 search is all-pairs: every UNKNOWN baseline meets
+    every known instance on six hash columns, and the pairwise ablation
+    matrix meets every instance pair.  The inverted 7-gram index
+    (:mod:`repro.analysis.simindex`) only ever hands plausibly-similar pairs
+    to the signature alignment; this bench runs both paths over campaigns of
+    increasing scale, checks the outputs stay identical, and reports how many
+    digest comparisons the index avoided.
+    """
+
+    def test_indexed_search_prunes_comparisons_across_scales(self, bench_campaign,
+                                                             bench_scale_value):
+        scales = sorted({0.0025, 0.005, 0.01, bench_scale_value})
+        table = TextTable(
+            ["scale", "instances", "brute cmps", "indexed cmps", "pruned %",
+             "brute ms", "indexed ms"],
+            title="Similarity search: brute force vs n-gram index")
+        measured: list[tuple[float, int, int]] = []
+
+        for scale in scales:
+            if scale == bench_scale_value:
+                records = bench_campaign.records
+            else:
+                config = CampaignConfig(scale=scale, seed=2025, loss_rate=0.0002)
+                records = DeploymentCampaign(config=config).run().records
+
+            brute = SimilaritySearch(records, use_index=False)
+            indexed = SimilaritySearch(records, use_index=True, index_threshold=0)
+
+            brute_out, brute_ms = self._run_search(brute)
+            indexed_out, indexed_ms = self._run_search(indexed)
+            assert brute_out == indexed_out  # identical tables + matrix, every scale
+
+            pruned = 100.0 * (1 - indexed.comparisons / brute.comparisons) \
+                if brute.comparisons else 0.0
+            table.add_row([f"{scale:g}", len(brute.instances), brute.comparisons,
+                           indexed.comparisons, f"{pruned:.1f}",
+                           f"{brute_ms:.1f}", f"{indexed_ms:.1f}"])
+            measured.append((scale, brute.comparisons, indexed.comparisons))
+
+        print()
+        print(table.render())
+
+        at_scale = [(b, i) for scale, b, i in measured if scale >= 0.01]
+        assert at_scale, "bench must include at least one scale >= 0.01"
+        for brute_comparisons, indexed_comparisons in at_scale:
+            assert indexed_comparisons < brute_comparisons
+
+    @staticmethod
+    def _run_search(search: SimilaritySearch) -> tuple[tuple, float]:
+        """Run Table 7 + the pairwise matrix; return (results, elapsed ms)."""
+        start = time.perf_counter()
+        try:
+            searches = search.identify_unknown(top=10)
+        except AnalysisError:  # no UNKNOWN instance at tiny scales
+            searches = {}
+        matrix = search.pairwise_average_matrix()
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        return (searches, matrix), elapsed_ms
 
 
 class TestHasherConfiguration:

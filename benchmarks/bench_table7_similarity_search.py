@@ -8,7 +8,8 @@ variants.
 """
 
 from repro.analysis.report import render_similarity
-from repro.analysis.similarity import HASH_COLUMNS
+from repro.analysis.similarity import HASH_COLUMNS, SimilaritySearch
+from repro.util.tables import TextTable
 
 
 def test_table7_similarity_search(benchmark, bench_pipeline):
@@ -35,3 +36,43 @@ def test_table7_similarity_search(benchmark, bench_pipeline):
     tail = results[1:]
     assert any(result.scores["FI_H"] < 100 for result in tail)
     assert all(result.scores["SY_H"] >= 80 for result in tail)
+
+
+def test_table7_similarity_search_brute_force(benchmark, bench_pipeline):
+    """Timing reference: the same search on the all-pairs brute-force path."""
+    searches = benchmark(lambda: bench_pipeline.table7_similarity_search(
+        top=10, indexed=False))
+    assert searches
+
+
+def test_indexed_table7_is_byte_identical_with_fewer_comparisons(bench_campaign):
+    """The n-gram index must not change a single byte of Table 7's output.
+
+    Runs the search twice -- brute force and indexed (threshold forced to 0 so
+    the index engages regardless of campaign scale) -- renders both result
+    sets, and checks the renderings are byte-identical while the indexed run
+    performed no more digest comparisons (strictly fewer at default scale).
+    """
+    brute = SimilaritySearch(bench_campaign.records, use_index=False)
+    indexed = SimilaritySearch(bench_campaign.records, use_index=True, index_threshold=0)
+
+    brute_out = brute.identify_unknown(top=10)
+    indexed_out = indexed.identify_unknown(top=10)
+
+    def rendered(searches) -> str:
+        return "\n\n".join(
+            render_similarity(results, title=f"Table 7 (baseline: {path})")
+            for path, results in searches.items())
+
+    assert rendered(brute_out) == rendered(indexed_out)
+    assert brute_out == indexed_out
+
+    stats = indexed.index_stats()
+    table = TextTable(["path", "digest comparisons", "pairs pruned"],
+                      title="Table 7: brute force vs n-gram index")
+    table.add_row(["brute force", brute.comparisons, 0])
+    table.add_row(["indexed", indexed.comparisons,
+                   stats.pairs_pruned if stats is not None else 0])
+    print()
+    print(table.render())
+    assert indexed.comparisons <= brute.comparisons

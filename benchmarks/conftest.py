@@ -24,6 +24,12 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_BENCH_SCALE))
 
 
+@pytest.fixture(scope="session", name="bench_scale_value")
+def bench_scale_fixture() -> float:
+    """The campaign scale as a fixture, so bench modules need not import conftest."""
+    return bench_scale()
+
+
 @pytest.fixture(scope="session")
 def bench_campaign() -> CampaignResult:
     """The deployment campaign all table/figure benchmarks analyse."""

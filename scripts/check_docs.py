@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Documentation link and quickstart checker.
+
+Keeps ``README.md`` and ``docs/*.md`` honest without any third-party tools:
+
+* every relative Markdown link target must exist in the repository,
+* every backtick-quoted repository path (``src/...``, ``examples/foo.py``,
+  ``benchmarks/...``, ...) must exist,
+* every ``python <file>`` command shown in fenced shell blocks must point at
+  an existing script, and
+* every fenced Python code block must at least compile, and its
+  ``import``/``from`` lines against the local ``repro`` package must resolve
+  (so the README quickstart cannot silently rot).
+
+Run from anywhere; exits non-zero listing every stale reference:
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documentation files under check.
+DOC_FILES = ("README.md", "docs/architecture.md")
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_BACKTICK_PATH = re.compile(
+    r"`((?:src|docs|examples|benchmarks|tests|scripts)/[\w./-]*)`")
+_PYTHON_CMD = re.compile(r"python\s+((?:examples|scripts|benchmarks)/[\w./-]+\.py)")
+_FENCE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+_IMPORT_LINE = re.compile(r"^(?:from\s+(repro[\w.]*)\s+import\s+([\w, ]+)|import\s+(repro[\w.]*))",
+                          re.MULTILINE)
+
+
+def _exists(path: str) -> bool:
+    return (REPO_ROOT / path.rstrip("/")).exists()
+
+
+def check_file(doc_path: Path) -> list[str]:
+    """Return one error string per stale reference in ``doc_path``."""
+    errors: list[str] = []
+    text = doc_path.read_text(encoding="utf-8")
+    try:
+        rel = doc_path.relative_to(REPO_ROOT)
+    except ValueError:  # e.g. a temporary file under test
+        rel = doc_path
+
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (doc_path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link -> {target}")
+
+    for pattern in (_BACKTICK_PATH, _PYTHON_CMD):
+        for match in pattern.finditer(text):
+            if not _exists(match.group(1)):
+                errors.append(f"{rel}: missing path -> {match.group(1)}")
+
+    for language, body in _FENCE.findall(text):
+        if language != "python":
+            continue
+        try:
+            compile(body, f"{rel}:<python block>", "exec")
+        except SyntaxError as exc:
+            errors.append(f"{rel}: python block does not compile -> {exc}")
+            continue
+        errors.extend(_check_imports(body, rel))
+    return errors
+
+
+def _check_imports(body: str, rel: Path) -> list[str]:
+    """Resolve ``repro`` imports of a doc code block against the real package."""
+    import importlib
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    errors: list[str] = []
+    try:
+        for from_module, names, plain_module in _IMPORT_LINE.findall(body):
+            module_name = from_module or plain_module
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError as exc:
+                errors.append(f"{rel}: quickstart imports fail -> {exc}")
+                continue
+            for name in filter(None, (part.strip() for part in names.split(","))):
+                if not hasattr(module, name):
+                    errors.append(
+                        f"{rel}: quickstart name missing -> {module_name}.{name}")
+    finally:
+        sys.path.remove(str(REPO_ROOT / "src"))
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    for doc in DOC_FILES:
+        path = REPO_ROOT / doc
+        if not path.exists():
+            errors.append(f"missing documentation file: {doc}")
+            continue
+        errors.extend(check_file(path))
+    if errors:
+        print(f"documentation check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"documentation check passed ({len(DOC_FILES)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

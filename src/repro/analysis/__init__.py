@@ -15,6 +15,9 @@ Each module corresponds to one family of results in the paper's evaluation
   usage matrices (Figures 4 and 5),
 * :mod:`repro.analysis.similarity` -- fuzzy-hash similarity search that
   identifies unknown executables (Table 7),
+* :mod:`repro.analysis.simindex` -- inverted n-gram index over CTPH digests
+  that prunes the similarity search's candidate pairs without changing its
+  results,
 * :mod:`repro.analysis.report` -- text rendering of all of the above.
 """
 
@@ -24,6 +27,7 @@ from repro.analysis.libfilter import LibraryUsageRow, library_usage_table
 from repro.analysis.matrices import compiler_label_matrix, library_label_matrix
 from repro.analysis.pythonpkgs import PythonPackageRow, python_package_table
 from repro.analysis.similarity import SimilarityResult, SimilaritySearch
+from repro.analysis.simindex import DigestIndex, IndexStats, SimilarityIndex
 from repro.analysis.stats import (
     PythonInterpreterRow,
     SharedObjectVariantRow,
@@ -49,6 +53,9 @@ __all__ = [
     "python_package_table",
     "SimilarityResult",
     "SimilaritySearch",
+    "DigestIndex",
+    "IndexStats",
+    "SimilarityIndex",
     "UserActivityRow",
     "SystemExecutableRow",
     "SharedObjectVariantRow",

@@ -7,6 +7,15 @@ modules (``MO_H``), compilers (``CO_H``), shared objects (``OB_H``), raw file
 every other known instance and ranks candidates by the average similarity.
 A perfect 100 across all columns means "effectively the same executable in the
 same environment"; decreasing scores trace version/compilation distance.
+
+Above a small size threshold the search runs on top of the inverted n-gram
+index of :mod:`repro.analysis.simindex`: only instances sharing at least one
+signature 7-gram with the baseline (per column, per block-size band) are ever
+handed to the expensive signature alignment; every other pair is assigned its
+provably-correct score of 0 without a comparison.  The results -- scores,
+ranking, and tie order -- are identical to brute force by construction, and
+``use_index=False`` keeps the plain quadratic path available for verification
+and benchmarking.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.labels import LABEL_RULES, UNKNOWN_LABEL, derive_label
+from repro.analysis.simindex import DEFAULT_INDEX_THRESHOLD, IndexStats, SimilarityIndex
 from repro.collector.classify import ExecutableCategory
 from repro.db.store import ProcessRecord
 from repro.hashing.ssdeep import FuzzyHasher
@@ -71,12 +81,28 @@ class SimilarityResult:
 
 @dataclass
 class SimilaritySearch:
-    """Index user-directory records into instances and run similarity queries."""
+    """Index user-directory records into instances and run similarity queries.
+
+    ``use_index=True`` (the default) prunes candidate pairs through the
+    inverted n-gram index once the instance count reaches
+    ``index_threshold``; below the threshold -- or when the hasher's
+    common-substring requirement is disabled, which voids the index's pruning
+    guarantee -- queries transparently fall back to brute force.  Either way
+    the results are identical; only ``comparisons`` differs.
+    """
 
     records: list[ProcessRecord]
     rules: tuple = LABEL_RULES
     hasher: FuzzyHasher = field(default_factory=FuzzyHasher)
+    use_index: bool = True
+    index_threshold: int = DEFAULT_INDEX_THRESHOLD
     instances: list[ExecutableInstance] = field(init=False)
+    #: Number of digest comparisons actually performed (cache lookups count;
+    #: pairs pruned by the index or short-circuited on empty digests do not).
+    comparisons: int = field(init=False, default=0)
+    _index: SimilarityIndex | None = field(init=False, default=None, repr=False)
+    _instance_ids: dict[tuple[str, ...], int] = field(init=False, default_factory=dict,
+                                                      repr=False)
 
     def __post_init__(self) -> None:
         self.instances = self._build_instances()
@@ -119,20 +145,56 @@ class SimilaritySearch:
         return [instance for instance in self.instances if instance.label != UNKNOWN_LABEL]
 
     # ------------------------------------------------------------------ #
+    # index plumbing
+    # ------------------------------------------------------------------ #
+    def _effective_index(self) -> SimilarityIndex | None:
+        """The candidate-pruning index, or ``None`` when brute force applies.
+
+        The index's no-false-negative guarantee rests on ``compare`` refusing
+        to score signature pairs without a common 7-gram, so a hasher with
+        ``require_common_substring=False`` disables it; so does a dataset
+        smaller than ``index_threshold``, where building the index costs more
+        than the scan it saves.
+        """
+        if not self.use_index:
+            return None
+        if not getattr(self.hasher, "require_common_substring", True):
+            return None
+        if len(self.instances) < self.index_threshold:
+            return None
+        if self._index is None:
+            self._index = SimilarityIndex(
+                [instance.hashes for instance in self.instances], columns=HASH_COLUMNS)
+            self._instance_ids = {instance.key: position
+                                  for position, instance in enumerate(self.instances)}
+        return self._index
+
+    @property
+    def indexed(self) -> bool:
+        """Whether queries currently run through the n-gram index."""
+        return self._effective_index() is not None
+
+    def index_stats(self) -> IndexStats | None:
+        """Aggregated index counters (``None`` while on the brute-force path)."""
+        index = self._effective_index()
+        return index.stats() if index is not None else None
+
+    def _compare_digests(self, hash_a: str, hash_b: str) -> int:
+        """One counted, cached digest comparison (empty digests score 0 free)."""
+        if not hash_a or not hash_b:
+            return 0
+        self.comparisons += 1
+        return self.hasher.compare_cached(hash_a, hash_b)
+
+    # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def compare_instances(self, first: ExecutableInstance,
                           second: ExecutableInstance) -> dict[str, int]:
         """Per-column similarity scores between two instances."""
-        scores: dict[str, int] = {}
-        for column in HASH_COLUMNS:
-            hash_a = first.hashes.get(column, "")
-            hash_b = second.hashes.get(column, "")
-            if not hash_a or not hash_b:
-                scores[column] = 0
-                continue
-            scores[column] = self.hasher.compare(hash_a, hash_b)
-        return scores
+        return {column: self._compare_digests(first.hashes.get(column, ""),
+                                              second.hashes.get(column, ""))
+                for column in HASH_COLUMNS}
 
     def query(
         self,
@@ -142,14 +204,41 @@ class SimilaritySearch:
         top: int | None = None,
         columns: tuple[str, ...] = HASH_COLUMNS,
     ) -> list[SimilarityResult]:
-        """Rank candidate instances by average similarity to ``baseline``."""
+        """Rank candidate instances by average similarity to ``baseline``.
+
+        With the index active, a column comparison is only performed when the
+        candidate shares an indexed n-gram with the baseline on that column;
+        all other scores are 0 by the index's pruning guarantee.  Results are
+        built in pool order and stable-sorted, exactly as the brute-force
+        path does, so rankings (including ties) are identical.
+        """
         pool = candidates if candidates is not None else self.labelled_instances()
+        index = self._effective_index()
+        # Columns the index does not cover (anything outside HASH_COLUMNS)
+        # simply miss from per_column and are compared directly, exactly as
+        # the brute-force path would.
+        per_column: dict[str, set[int]] = {}
+        if index is not None:
+            per_column = index.candidates_by_column(
+                baseline.hashes, tuple(column for column in columns
+                                       if column in index.columns))
         results: list[SimilarityResult] = []
         for candidate in pool:
             if candidate.key == baseline.key:
                 continue
-            scores = self.compare_instances(baseline, candidate)
-            selected = {column: scores[column] for column in columns}
+            # Caller-supplied instances outside the built index (no id) are
+            # compared directly; indexed ones only where a shared n-gram
+            # makes a non-zero score possible.
+            candidate_id = self._instance_ids.get(candidate.key) if index is not None else None
+            selected = {}
+            for column in columns:
+                bucket = per_column.get(column)
+                if candidate_id is not None and bucket is not None \
+                        and candidate_id not in bucket:
+                    selected[column] = 0
+                    continue
+                selected[column] = self._compare_digests(
+                    baseline.hashes.get(column, ""), candidate.hashes.get(column, ""))
             average = sum(selected.values()) / len(selected) if selected else 0.0
             results.append(SimilarityResult(
                 label=candidate.label, executable=candidate.executable,
@@ -181,16 +270,27 @@ class SimilaritySearch:
     # pairwise matrix (used by the scaling ablation bench)
     # ------------------------------------------------------------------ #
     def pairwise_average_matrix(self, column: str = "FI_H") -> list[list[int]]:
-        """Full pairwise similarity matrix over instances for one hash column."""
+        """Full pairwise similarity matrix over instances for one hash column.
+
+        Indexed, only the pairs sharing an n-gram are aligned; the rest of the
+        ``O(N**2)`` matrix is filled with the 0 they would have scored.  (The
+        ``"3::"`` placeholder for missing digests has empty signatures, so it
+        scores 0 against everything on both paths.)
+        """
         size = len(self.instances)
         matrix = [[0] * size for _ in range(size)]
+        index = self._effective_index()
+        if index is not None and column not in index.columns:
+            index = None  # unindexed column: compare directly, as brute force does
+        digests = [instance.hashes.get(column, "") or "3::" for instance in self.instances]
         for i in range(size):
             matrix[i][i] = 100
+            candidates = index.candidates(digests[i], column) if index is not None else None
             for j in range(i + 1, size):
-                score = self.hasher.compare(
-                    self.instances[i].hashes.get(column, "") or "3::",
-                    self.instances[j].hashes.get(column, "") or "3::",
-                )
+                if candidates is not None and j not in candidates:
+                    continue
+                self.comparisons += 1
+                score = self.hasher.compare_cached(digests[i], digests[j])
                 matrix[i][j] = score
                 matrix[j][i] = score
         return matrix

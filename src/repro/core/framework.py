@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.similarity import SimilarityResult
 from repro.collector.hooks import SirenCollector
 from repro.core.config import SirenConfig
+from repro.core.pipeline import AnalysisPipeline
 from repro.db.store import MessageStore, ProcessRecord
 from repro.hpcsim.cluster import Cluster
 from repro.postprocess.consolidate import Consolidator
@@ -75,6 +77,24 @@ class SirenFramework:
         """Flush the receiver and consolidate everything collected so far."""
         self.receiver.flush()
         return Consolidator(self.store).run(clear_messages=clear_messages)
+
+    def analysis_pipeline(self, user_names: dict[int, str] | None = None,
+                          ) -> AnalysisPipeline:
+        """Consolidate everything collected so far into an analysis pipeline.
+
+        Convenience for the common deploy -> run jobs -> analyse loop; each
+        call re-consolidates, so it reflects all messages received up to now.
+        """
+        return AnalysisPipeline(self.consolidate(), user_names or {})
+
+    def identify_unknown(self, *, top: int = 10, indexed: bool = True,
+                         ) -> dict[str, list[SimilarityResult]]:
+        """Run the Table 7 similarity search over everything collected so far.
+
+        ``indexed`` selects between the n-gram candidate index and the
+        brute-force all-pairs comparison; results are identical either way.
+        """
+        return self.analysis_pipeline().table7_similarity_search(top=top, indexed=indexed)
 
     def statistics(self) -> dict[str, float]:
         """Operational counters of the deployment."""

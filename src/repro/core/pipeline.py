@@ -29,6 +29,7 @@ from repro.analysis.stats import (
     user_activity_table,
 )
 from repro.db.store import ProcessRecord
+from repro.util.errors import AnalysisError
 
 
 @dataclass
@@ -66,9 +67,18 @@ class AnalysisPipeline:
         """Table 6: compiler combinations of user applications."""
         return compiler_combination_table(self.records, self.user_names)
 
-    def table7_similarity_search(self, top: int = 10) -> dict[str, list[SimilarityResult]]:
-        """Table 7: similarity search identifying every UNKNOWN instance."""
-        return SimilaritySearch(self.records).identify_unknown(top=top)
+    def table7_similarity_search(self, top: int = 10, *,
+                                 indexed: bool = True) -> dict[str, list[SimilarityResult]]:
+        """Table 7: similarity search identifying every UNKNOWN instance.
+
+        ``indexed=True`` (default) routes the search through the inverted
+        n-gram candidate index (:mod:`repro.analysis.simindex`);
+        ``indexed=False`` forces the brute-force all-pairs path.  Both return
+        identical results -- the knob only trades comparison count for index
+        construction, and exists so callers can verify or benchmark the
+        equivalence.
+        """
+        return SimilaritySearch(self.records, use_index=indexed).identify_unknown(top=top)
 
     def table8_python_interpreters(self) -> list[PythonInterpreterRow]:
         """Table 8: Python interpreters."""
@@ -96,15 +106,21 @@ class AnalysisPipeline:
     # ------------------------------------------------------------------ #
     # similarity helpers
     # ------------------------------------------------------------------ #
-    def similarity_search(self) -> SimilaritySearch:
-        """The underlying similarity index, for custom queries."""
-        return SimilaritySearch(self.records)
+    def similarity_search(self, *, indexed: bool = True) -> SimilaritySearch:
+        """The underlying similarity search, for custom queries."""
+        return SimilaritySearch(self.records, use_index=indexed)
 
     # ------------------------------------------------------------------ #
     # rendering
     # ------------------------------------------------------------------ #
     def render_all(self) -> str:
-        """Render every table and figure as one text report."""
+        """Render every table and figure as one text report.
+
+        The Table 7 section is skipped -- silently, by design -- only when the
+        similarity search raises :class:`AnalysisError` because the dataset
+        contains no UNKNOWN instance to identify (common at small campaign
+        scales).  Any other exception propagates to the caller.
+        """
         sections = [
             report.render_user_activity(self.table2_user_activity()),
             report.render_system_executables(self.table3_system_executables()),
@@ -122,6 +138,7 @@ class AnalysisPipeline:
             for path, results in searches.items():
                 sections.append(report.render_similarity(
                     results, title=f"Table 7 (baseline: {path})"))
-        except Exception:  # noqa: BLE001 - no UNKNOWN instance in small datasets
-            pass
+        except AnalysisError:
+            pass  # no UNKNOWN instance in small datasets -- nothing to render
+
         return "\n\n".join(sections)

@@ -35,6 +35,7 @@ ever compares SIREN-produced hashes with each other).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.hashing.edit_distance import has_common_substring, weighted_edit_distance
 from repro.hashing.fnv import SSDEEP_HASH_INIT, sum_hash
@@ -90,6 +91,7 @@ class FuzzyHasher:
         min_block_size: int = MIN_BLOCKSIZE,
         signature_length: int = SPAMSUM_LENGTH,
         require_common_substring: bool = True,
+        compare_cache_size: int = 65536,
     ) -> None:
         if min_block_size < 1:
             raise ValueError("min_block_size must be >= 1")
@@ -98,6 +100,10 @@ class FuzzyHasher:
         self.min_block_size = min_block_size
         self.signature_length = signature_length
         self.require_common_substring = require_common_substring
+        # Per-instance LRU over *digest string* pairs.  ``compare`` is
+        # symmetric, so keys are normalised to the sorted pair, doubling the
+        # hit rate when the same instances meet in either order.
+        self._cached_compare = lru_cache(maxsize=compare_cache_size)(self.compare)
 
     # ------------------------------------------------------------------ #
     # hashing
@@ -174,10 +180,10 @@ class FuzzyHasher:
         if b1 != b2 and b1 != b2 * 2 and b2 != b1 * 2:
             return 0
 
-        s1a = _eliminate_sequences(h1.sig1)
-        s1b = _eliminate_sequences(h1.sig2)
-        s2a = _eliminate_sequences(h2.sig1)
-        s2b = _eliminate_sequences(h2.sig2)
+        s1a = eliminate_sequences(h1.sig1)
+        s1b = eliminate_sequences(h1.sig2)
+        s2a = eliminate_sequences(h2.sig1)
+        s2b = eliminate_sequences(h2.sig2)
 
         if b1 == b2 and s1a == s2a and s1b == s2b and s1a:
             return 100
@@ -189,6 +195,25 @@ class FuzzyHasher:
         if b1 == b2 * 2:
             return self._score_strings(s1a, s2b, b1)
         return self._score_strings(s1b, s2a, b2)
+
+    def compare_cached(self, first: FuzzyHash | str, second: FuzzyHash | str) -> int:
+        """:meth:`compare` memoised on the (order-normalised) digest pair.
+
+        Similarity search compares the same small set of digests against each
+        other over and over (every UNKNOWN baseline meets every candidate, and
+        the pairwise matrix meets every pair twice through symmetry); the
+        signature alignment is by far the most expensive step, so an LRU keyed
+        on the digest pair removes all repeat work.
+        """
+        a = str(first)
+        b = str(second)
+        if b < a:
+            a, b = b, a
+        return self._cached_compare(a, b)
+
+    def compare_cache_info(self):
+        """Hit/miss statistics of the :meth:`compare_cached` LRU."""
+        return self._cached_compare.cache_info()
 
     def _score_strings(self, s1: str, s2: str, block_size: int) -> int:
         """Convert an edit distance between two signatures into a 0-100 score."""
@@ -216,8 +241,14 @@ class FuzzyHasher:
         return max(0, min(100, score))
 
 
-def _eliminate_sequences(signature: str) -> str:
-    """Collapse runs of more than :data:`MAX_SEQUENCE` identical characters."""
+def eliminate_sequences(signature: str) -> str:
+    """Collapse runs of more than :data:`MAX_SEQUENCE` identical characters.
+
+    This is the normalisation :meth:`FuzzyHasher.compare` applies to both
+    signatures before scoring them; anything that reasons about which digests
+    *can* score non-zero (notably the n-gram index in
+    :mod:`repro.analysis.simindex`) must apply the same normalisation.
+    """
     if len(signature) <= MAX_SEQUENCE:
         return signature
     out: list[str] = list(signature[:MAX_SEQUENCE])
@@ -230,6 +261,10 @@ def _eliminate_sequences(signature: str) -> str:
         ):
             out.append(char)
     return "".join(out)
+
+
+#: Backwards-compatible alias (the helper predates its public use).
+_eliminate_sequences = eliminate_sequences
 
 
 # Module-level singleton mirroring libfuzzy's stateless API ------------------

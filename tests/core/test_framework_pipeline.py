@@ -53,6 +53,34 @@ class TestSirenFramework:
         assert 0.3 < stats["observed_loss_rate"] < 0.7
 
 
+class TestFrameworkAnalysisFacade:
+    def _run_identification_job(self, cluster, manifest) -> None:
+        icon = manifest.find_executable("icon", "cray-r1", "alice")
+        unknown = manifest.find_executable("icon", "unknown-copy", "alice")
+        script = JobScript(name="t", modules=("siren", *icon.required_modules),
+                           steps=(StepSpec(processes=(
+                               ProcessSpec(executable=icon.path),
+                               ProcessSpec(executable=unknown.path),)),))
+        cluster.run_job("alice", script)
+
+    def test_analysis_pipeline_over_collected_records(self, deployed_framework):
+        cluster, manifest, framework, _ = deployed_framework
+        self._run_identification_job(cluster, manifest)
+        pipeline = framework.analysis_pipeline()
+        labels = {row.label for row in pipeline.table5_user_applications()}
+        assert {"icon", "UNKNOWN"} <= labels
+
+    def test_identify_unknown_indexed_knob(self, deployed_framework):
+        cluster, manifest, framework, _ = deployed_framework
+        self._run_identification_job(cluster, manifest)
+        indexed = framework.identify_unknown(top=5, indexed=True)
+        brute = framework.identify_unknown(top=5, indexed=False)
+        assert indexed == brute
+        (results,) = indexed.values()
+        assert results[0].label == "icon"
+        assert results[0].average == 100.0
+
+
 class TestAnalysisPipeline:
     def test_tables_present_and_consistent(self, pipeline, campaign_result):
         table2 = pipeline.table2_user_activity()
@@ -96,6 +124,24 @@ class TestAnalysisPipeline:
                         "Table 8", "Figure 2", "Figure 3", "Figure 4", "Figure 5"):
             assert section in rendered
 
+    def test_render_all_skips_table7_without_unknowns(self, pipeline):
+        known = [record for record in pipeline.records
+                 if not record.executable.endswith(("a.out", "model.x"))]
+        rendered = AnalysisPipeline(known, pipeline.user_names).render_all()
+        assert "Table 7" not in rendered
+        assert "Table 5" in rendered
+
+    def test_render_all_propagates_unexpected_errors(self, pipeline, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("broken similarity backend")
+
+        patched = AnalysisPipeline(pipeline.records, pipeline.user_names)
+        monkeypatch.setattr(patched, "table7_similarity_search", boom)
+        with pytest.raises(RuntimeError):
+            patched.render_all()
+
     def test_similarity_search_accessor(self, pipeline):
         search = pipeline.similarity_search()
         assert search.unknown_instances()
+        indexed = pipeline.similarity_search(indexed=True)
+        assert indexed.index_stats() is None or indexed.indexed

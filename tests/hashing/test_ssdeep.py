@@ -145,6 +145,35 @@ class TestComparison:
             assert hasher.compare(base, extended) >= 0
 
 
+class TestCachedCompare:
+    def test_cached_compare_matches_compare(self):
+        hasher = FuzzyHasher()
+        a = hasher.hash(_random_bytes(4096, seed=1))
+        b = hasher.hash(_random_bytes(4096, seed=2))
+        assert hasher.compare_cached(a, b) == hasher.compare(a, b)
+        assert hasher.compare_cached(str(a), str(b)) == hasher.compare(a, b)
+
+    def test_cache_hits_on_repeat_and_swapped_pairs(self):
+        hasher = FuzzyHasher()
+        a = str(hasher.hash(_random_bytes(4096, seed=3)))
+        b = str(hasher.hash(_random_bytes(4096, seed=4)))
+        first = hasher.compare_cached(a, b)
+        info_after_first = hasher.compare_cache_info()
+        # The pair key is order-normalised, so the swapped call hits too.
+        assert hasher.compare_cached(b, a) == first
+        assert hasher.compare_cached(a, b) == first
+        info = hasher.compare_cache_info()
+        assert info.hits == info_after_first.hits + 2
+        assert info.misses == info_after_first.misses
+
+    def test_caches_are_per_hasher_instance(self):
+        first = FuzzyHasher()
+        second = FuzzyHasher()
+        a = str(first.hash(_random_bytes(2048, seed=5)))
+        first.compare_cached(a, a)
+        assert second.compare_cache_info().currsize == 0
+
+
 class TestEliminateSequences:
     def test_collapses_long_runs(self):
         assert _eliminate_sequences("aaaaaabc") == "aaabc"
