@@ -11,18 +11,29 @@ SIREN computes SSDeep fuzzy hashes of
   that those remain comparable even when parts are lost in transit.
 
 Hashing an executable is by far the most expensive part of collection, so
-:class:`ArtifactHasher` memoises per ``(path, mtime)`` -- re-executing the same
-unchanged binary thousands of times (the common case on an HPC system) costs
-one hash, not thousands.
+:class:`ArtifactHasher` memoises aggressively, in two tiers:
+
+* per ``(path, mtime)`` -- re-executing the same unchanged binary thousands
+  of times (the common case on an HPC system) costs one hash, not thousands;
+  executables and scripts use *separate* caches so a binary first seen as a
+  script never short-circuits the executable hashes (or vice versa);
+* per *content* -- an FNV-64 content key recognises byte-identical binaries
+  reached through different paths or mtimes (the classic renamed ``a.out``),
+  so they hash exactly once per campaign.
+
+List hashes are memoised by content in a bounded LRU (the same module and
+library lists recur for thousands of processes).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.elf.reader import ELFFile, is_elf
 from repro.elf.strings import strings_blob
 from repro.elf.symbols import nm_listing
+from repro.hashing.fnv import fnv1a_64
 from repro.hashing.ssdeep import FuzzyHasher
 from repro.hpcsim.filesystem import VirtualFilesystem
 
@@ -36,6 +47,20 @@ class ExecutableHashes:
     symbols_hash: str
 
 
+def _content_key(content: bytes) -> tuple[int, int]:
+    """Content-addressed cache key: payload length + FNV-64 of the bytes.
+
+    Computing the key costs roughly half an engine FILE_H hash, while a
+    content hit saves the full FILE_H + STRINGS_H + SYMBOLS_H pipeline
+    (several times the key cost), so the cache wins whenever binaries repeat
+    across paths/mtimes -- the normal HPC case, and what the campaign bench
+    measures.  For a corpus of almost entirely unique binaries, turn it off
+    (``content_cache_enabled=False`` / ``hash_content_cache=False``) to skip
+    the key entirely.
+    """
+    return len(content), fnv1a_64(content)
+
+
 @dataclass
 class ArtifactHasher:
     """Compute (and cache) the fuzzy hashes the collector needs."""
@@ -43,11 +68,21 @@ class ArtifactHasher:
     filesystem: VirtualFilesystem
     hasher: FuzzyHasher = field(default_factory=FuzzyHasher)
     cache_enabled: bool = True
-    _cache: dict[tuple[str, int], ExecutableHashes] = field(default_factory=dict)
-    _list_cache: dict[str, str] = field(default_factory=dict)
+    #: Second cache tier keyed on content (length + FNV-64): identical bytes
+    #: under different paths/mtimes hash once.
+    content_cache_enabled: bool = True
+    #: Fanned out to :meth:`FuzzyHasher.hash_many` for the three per-executable
+    #: payloads; > 1 engages a process pool (multi-core hosts only).
+    hash_concurrency: int = 1
     list_cache_limit: int = 100_000
     hashes_computed: int = 0
     cache_hits: int = 0
+    content_cache_hits: int = 0
+    _exe_cache: dict[tuple[str, int], ExecutableHashes] = field(default_factory=dict)
+    _script_cache: dict[tuple[str, int], str] = field(default_factory=dict)
+    _exe_content_cache: dict[tuple[int, int], ExecutableHashes] = field(default_factory=dict)
+    _script_content_cache: dict[tuple[int, int], str] = field(default_factory=dict)
+    _list_cache: OrderedDict[str, str] = field(default_factory=OrderedDict)
 
     # ------------------------------------------------------------------ #
     # executables
@@ -57,23 +92,36 @@ class ArtifactHasher:
         metadata = self.filesystem.stat(path)
         key = (path, metadata.mtime)
         if self.cache_enabled:
-            cached = self._cache.get(key)
+            cached = self._exe_cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
                 return cached
 
         content = self.filesystem.read(path)
-        file_hash = str(self.hasher.hash(content))
-        strings_hash = str(self.hasher.hash_text(strings_blob(content)))
+        use_content = self.cache_enabled and self.content_cache_enabled
+        ckey = _content_key(content) if use_content else None
+        if ckey is not None:
+            cached = self._exe_content_cache.get(ckey)
+            if cached is not None:
+                self.content_cache_hits += 1
+                if self.cache_enabled:
+                    self._exe_cache[key] = cached
+                return cached
+
+        payloads = [content, strings_blob(content).encode("utf-8")]
         if is_elf(content):
-            symbols_hash = str(self.hasher.hash_text(nm_listing(ELFFile(content))))
+            payloads.append(nm_listing(ELFFile(content)).encode("utf-8"))
         else:
-            symbols_hash = str(self.hasher.hash_text(""))
-        result = ExecutableHashes(file_hash=file_hash, strings_hash=strings_hash,
-                                  symbols_hash=symbols_hash)
+            payloads.append(b"")
+        digests = self.hasher.hash_many(payloads, concurrency=self.hash_concurrency)
+        result = ExecutableHashes(file_hash=str(digests[0]),
+                                  strings_hash=str(digests[1]),
+                                  symbols_hash=str(digests[2]))
         self.hashes_computed += 1
         if self.cache_enabled:
-            self._cache[key] = result
+            self._exe_cache[key] = result
+        if ckey is not None:
+            self._exe_content_cache[ckey] = result
         return result
 
     def script_hash(self, path: str) -> str:
@@ -81,14 +129,33 @@ class ArtifactHasher:
         metadata = self.filesystem.stat(path)
         key = (path, metadata.mtime)
         if self.cache_enabled:
-            cached = self._cache.get(key)
+            cached = self._script_cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
-                return cached.file_hash
-        digest = str(self.hasher.hash(self.filesystem.read(path)))
+                return cached
+
+        content = self.filesystem.read(path)
+        use_content = self.cache_enabled and self.content_cache_enabled
+        ckey = _content_key(content) if use_content else None
+        if ckey is not None:
+            cached = self._script_content_cache.get(ckey)
+            if cached is None:
+                # A script byte-identical to an already-hashed executable can
+                # reuse its FILE_H (the script digest is the raw-file hash).
+                executable = self._exe_content_cache.get(ckey)
+                cached = executable.file_hash if executable is not None else None
+            if cached is not None:
+                self.content_cache_hits += 1
+                if self.cache_enabled:
+                    self._script_cache[key] = cached
+                return cached
+
+        digest = str(self.hasher.hash(content))
         self.hashes_computed += 1
         if self.cache_enabled:
-            self._cache[key] = ExecutableHashes(digest, "", "")
+            self._script_cache[key] = digest
+        if ckey is not None:
+            self._script_content_cache[ckey] = digest
         return digest
 
     # ------------------------------------------------------------------ #
@@ -99,21 +166,36 @@ class ArtifactHasher:
 
         The same list contents recur for thousands of processes (every ``bash``
         in the same environment loads the same objects), so results are
-        memoised by content up to :attr:`list_cache_limit` distinct entries.
+        memoised by content in an LRU bounded at :attr:`list_cache_limit`
+        entries -- once full, the least recently used entry is evicted.
         """
         text = items if isinstance(items, str) else "\n".join(items)
         if self.cache_enabled:
             cached = self._list_cache.get(text)
             if cached is not None:
                 self.cache_hits += 1
+                self._list_cache.move_to_end(text)
                 return cached
         digest = str(self.hasher.hash_text(text))
         self.hashes_computed += 1
-        if self.cache_enabled and len(self._list_cache) < self.list_cache_limit:
+        if self.cache_enabled:
             self._list_cache[text] = digest
+            if len(self._list_cache) > self.list_cache_limit:
+                self._list_cache.popitem(last=False)
         return digest
 
     def clear_cache(self) -> None:
-        """Drop the memoisation caches."""
-        self._cache.clear()
+        """Drop all memoisation tiers."""
+        self._exe_cache.clear()
+        self._script_cache.clear()
+        self._exe_content_cache.clear()
+        self._script_content_cache.clear()
         self._list_cache.clear()
+
+    def close(self) -> None:
+        """Release hashing resources (the ``hash_many`` process pool).
+
+        Caches survive; hashing keeps working afterwards (a later concurrent
+        batch simply respawns the pool).
+        """
+        self.hasher.close()

@@ -24,6 +24,14 @@ class SirenConfig:
         SQLite path; ``":memory:"`` keeps everything in RAM.
     rng_seed:
         Seed for the lossy channel's drop decisions.
+    hash_engine:
+        Route collector hashing through the single-pass streaming engine
+        (:mod:`repro.hashing.engine`); digests are identical either way.
+    hash_content_cache:
+        Content-addressed digest cache: byte-identical binaries reached via
+        different paths/mtimes hash once per deployment.
+    hash_concurrency:
+        Process-pool width for per-executable hashing (1 = in-process).
     """
 
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
@@ -31,3 +39,6 @@ class SirenConfig:
     max_datagram_size: int = MAX_DATAGRAM_SIZE
     store_path: str = ":memory:"
     rng_seed: int = 7
+    hash_engine: bool = True
+    hash_content_cache: bool = True
+    hash_concurrency: int = 1

@@ -65,10 +65,23 @@ class SirenFramework:
             sender=self.sender,
             library_path=siren_library_path,
             policy=self.config.policy,
+            hash_engine=self.config.hash_engine,
+            hash_content_cache=self.config.hash_content_cache,
+            hash_concurrency=self.config.hash_concurrency,
         )
         cluster.register_preload_hook(self.collector)
         self.cluster = cluster
         return self.collector
+
+    def close(self) -> None:
+        """Release deployment resources (the collector's hash worker pool).
+
+        Call when a long-lived host is done with this deployment, especially
+        with ``hash_concurrency > 1``; collection and analysis keep working
+        afterwards (a later concurrent batch simply respawns the pool).
+        """
+        if self.collector is not None:
+            self.collector.close()
 
     # ------------------------------------------------------------------ #
     # data access

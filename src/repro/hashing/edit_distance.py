@@ -40,6 +40,7 @@ def weighted_edit_distance(
     delete_cost: int = 1,
     substitute_cost: int = 2,
     transpose_cost: int | None = 2,
+    bound: int | None = None,
 ) -> int:
     """Weighted edit distance with optional adjacent-transposition moves.
 
@@ -53,11 +54,22 @@ def weighted_edit_distance(
     transpose_cost:
         Cost of swapping two adjacent characters (Damerau move).  ``None``
         disables transpositions entirely, giving plain weighted Levenshtein.
+    bound:
+        Optional early-exit cost bound.  Distances up to ``bound`` are exact;
+        once every cell of the two most recent DP rows exceeds ``bound`` (DP
+        values only grow along any alignment path, and with transpositions a
+        path can skip at most one row), the true distance provably exceeds
+        ``bound`` too and the scan stops, returning that row minimum -- a
+        lower bound on the true distance that is itself ``> bound``.  Callers
+        that only compare the distance against a threshold ``<= bound`` (the
+        fuzzy-hash scorer) therefore see unchanged results at a fraction of
+        the cost for dissimilar strings.
 
     Returns
     -------
     int
-        The minimal total cost of transforming ``a`` into ``b``.
+        The minimal total cost of transforming ``a`` into ``b`` (exact when
+        it is ``<= bound`` or ``bound`` is ``None``).
     """
     if a == b:
         return 0
@@ -92,6 +104,10 @@ def weighted_edit_distance(
             ):
                 best = min(best, prev2[j - 2] + transpose_cost)
             current[j] = best
+        if bound is not None:
+            frontier = min(min(current), min(prev))
+            if frontier > bound:
+                return frontier
         prev2, prev, current = prev, current, prev2
 
     return prev[len_b]

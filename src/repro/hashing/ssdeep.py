@@ -30,6 +30,12 @@ The output format is the familiar ``blocksize:sig1:sig2`` string, so values
 look and behave like real ssdeep digests (although they are not bit-for-bit
 identical to libfuzzy's output, which is irrelevant here because SIREN only
 ever compares SIREN-produced hashes with each other).
+
+Production hashing runs on the single-pass streaming engine in
+:mod:`repro.hashing.engine` (one trigger scan serves all candidate block
+sizes, so nothing is ever rescanned); the naive loop described above survives
+as :meth:`FuzzyHasher.hash_reference`, the golden oracle the engine is pinned
+against.
 """
 
 from __future__ import annotations
@@ -38,11 +44,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.hashing.edit_distance import has_common_substring, weighted_edit_distance
+from repro.hashing.engine import B64_ALPHABET, FuzzyState, hash_many_parts
 from repro.hashing.fnv import SSDEEP_HASH_INIT, sum_hash
 from repro.hashing.rolling import ROLLING_WINDOW, RollingHash
-
-#: Base64 alphabet used for signature characters (standard alphabet, as ssdeep).
-B64_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
 
 #: Minimum block size -- signatures at smaller block sizes carry no structure.
 MIN_BLOCKSIZE = 3
@@ -92,6 +96,7 @@ class FuzzyHasher:
         signature_length: int = SPAMSUM_LENGTH,
         require_common_substring: bool = True,
         compare_cache_size: int = 65536,
+        use_engine: bool = True,
     ) -> None:
         if min_block_size < 1:
             raise ValueError("min_block_size must be >= 1")
@@ -100,6 +105,14 @@ class FuzzyHasher:
         self.min_block_size = min_block_size
         self.signature_length = signature_length
         self.require_common_substring = require_common_substring
+        #: Route :meth:`hash` through the single-pass engine
+        #: (:mod:`repro.hashing.engine`).  ``False`` forces the reference
+        #: per-byte implementation; digests are byte-identical either way,
+        #: so this is purely a benchmarking/debugging valve.
+        self.use_engine = use_engine
+        # Shared process pool for hash_many(concurrency > 1), created lazily.
+        self._pool = None
+        self._pool_width = 0
         # Per-instance LRU over *digest string* pairs.  ``compare`` is
         # symmetric, so keys are normalised to the sorted pair, doubling the
         # hit rate when the same instances meet in either order.
@@ -116,7 +129,31 @@ class FuzzyHasher:
         return block_size
 
     def hash(self, data: bytes) -> FuzzyHash:
-        """Compute the fuzzy hash of ``data``."""
+        """Compute the fuzzy hash of ``data``.
+
+        Runs on the single-pass streaming engine
+        (:class:`repro.hashing.engine.FuzzyState`) unless ``use_engine`` is
+        off; the engine's digests are byte-identical to
+        :meth:`hash_reference` (pinned by golden tests) but it scans the
+        payload once instead of once per block-size halving, with no
+        per-byte Python call overhead.
+        """
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("FuzzyHasher.hash expects bytes-like input")
+        data = bytes(data)
+        if not self.use_engine:
+            return self.hash_reference(data)
+        state = FuzzyState(min_block_size=self.min_block_size,
+                           signature_length=self.signature_length)
+        block_size, sig1, sig2 = state.update(data).digest_parts()
+        return FuzzyHash(block_size=block_size, sig1=sig1, sig2=sig2)
+
+    def hash_reference(self, data: bytes) -> FuzzyHash:
+        """The reference (seed) implementation: per-byte, rescan-on-halve.
+
+        Kept as the oracle for the engine's golden equivalence tests and as
+        the baseline of ``benchmarks/bench_hashing_engine.py``.
+        """
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise TypeError("FuzzyHasher.hash expects bytes-like input")
         data = bytes(data)
@@ -129,6 +166,71 @@ class FuzzyHasher:
                 block_size //= 2
             else:
                 return FuzzyHash(block_size=block_size, sig1=sig1, sig2=sig2)
+
+    def hash_many(self, payloads: list[bytes], *, concurrency: int = 1) -> list[FuzzyHash]:
+        """Hash a batch of payloads; results match ``[self.hash(p) ...]``.
+
+        ``concurrency > 1`` fans the batch out over a process pool that is
+        created lazily and *reused across calls* on this hasher instance, so
+        repeated small batches do not pay worker startup every time.  It only
+        wins for sizable payloads on multi-core hosts (payloads are shipped
+        to worker processes); ordering is preserved and every digest is
+        identical to what sequential :meth:`hash` produces.  The pool workers
+        run the engine, so with ``use_engine=False`` the batch falls back to
+        sequential reference hashing regardless of ``concurrency``.
+        """
+        items = []
+        for payload in payloads:
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
+                raise TypeError("FuzzyHasher.hash_many expects bytes-like payloads")
+            items.append(bytes(payload))
+        if concurrency <= 1 or len(items) < 2 or not self.use_engine:
+            return [self.hash(payload) for payload in items]
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            parts = hash_many_parts(items, self.min_block_size, self.signature_length,
+                                    concurrency=concurrency,
+                                    pool=self._shared_pool(concurrency))
+        except BrokenProcessPool:
+            # A killed worker poisons the whole executor; drop it so the next
+            # batch respawns, and finish this one sequentially rather than
+            # losing the caller's campaign.
+            self._pool = None
+            return [self.hash(payload) for payload in items]
+        return [FuzzyHash(block_size=block, sig1=sig1, sig2=sig2)
+                for block, sig1, sig2 in parts]
+
+    def _shared_pool(self, concurrency: int):
+        """Lazily-created process pool, reused while the width matches.
+
+        A :func:`weakref.finalize` guard shuts the workers down when this
+        hasher is garbage collected, so dropping the hasher never leaks
+        worker processes; long-lived owners can also call :meth:`close`
+        explicitly (the collector layer does).
+        """
+        import weakref
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._pool is not None and self._pool_width != concurrency:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        if self._pool is None:
+            pool = ProcessPoolExecutor(max_workers=concurrency)
+            weakref.finalize(self, ProcessPoolExecutor.shutdown, pool, wait=False)
+            self._pool = pool
+            self._pool_width = concurrency
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the shared :meth:`hash_many` process pool, if any.
+
+        Safe to call at any time; a later ``hash_many(concurrency > 1)``
+        simply creates a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def hash_text(self, text: str) -> FuzzyHash:
         """Fuzzy-hash a text payload (UTF-8 encoded)."""
@@ -224,7 +326,10 @@ class FuzzyHasher:
         if s1 == s2:
             score = 100
         else:
-            distance = weighted_edit_distance(s1, s2)
+            # Any distance >= len(s1) + len(s2) rescales to a score of 0, so
+            # the alignment may stop early once that is certain; scores are
+            # unchanged (tests pin new-vs-unbounded equality).
+            distance = weighted_edit_distance(s1, s2, bound=len(s1) + len(s2) - 1)
             # Rescale: 0 distance -> 100, distance comparable to the combined
             # signature length -> 0.  This mirrors ssdeep's score_strings().
             scaled = (distance * self.signature_length) // (len(s1) + len(s2))

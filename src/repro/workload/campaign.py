@@ -50,6 +50,9 @@ class CampaignConfig:
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
     quirk_fraction: float = 0.15   #: fraction of a quirk user's jobs with the alt environment
     min_jobs_per_user: int = 1
+    hash_engine: bool = True       #: single-pass hashing engine (identical digests)
+    hash_content_cache: bool = True  #: content-addressed digest cache in the collector
+    hash_concurrency: int = 1      #: process-pool width for per-executable hashing
     #: guarantee every job template of every user runs at least once, so the
     #: rare-but-load-bearing cases (the UNKNOWN icon runs, the GROMACS sharing)
     #: are present even at very small scales.
@@ -135,6 +138,9 @@ class DeploymentCampaign:
             sender=sender,
             library_path=self.manifest.siren_library,
             policy=self.config.policy,
+            hash_engine=self.config.hash_engine,
+            hash_content_cache=self.config.hash_content_cache,
+            hash_concurrency=self.config.hash_concurrency,
         )
         self.cluster.register_preload_hook(self.collector)
         self.scenario_builder = ScenarioBuilder(self.cluster, self.manifest,
@@ -147,6 +153,31 @@ class DeploymentCampaign:
     def run(self) -> CampaignResult:
         """Execute the campaign and return the consolidated result."""
         self.prepare()
+        try:
+            jobs_run = self._run_jobs()
+        finally:
+            self.collector.close()  # release hash workers; caches stay warm
+        self.receiver.flush()
+        consolidator = Consolidator(self.store)
+        records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
+        # Profiles already carry anonymised names (user_1 ... user_12), so the
+        # UID mapping simply reflects the registered usernames.
+        user_names = {user.uid: user.username for user in self.cluster.users.all()}
+        return CampaignResult(
+            config=self.config,
+            records=records,
+            store=self.store,
+            user_names=user_names,
+            manifest=self.manifest,
+            cluster=self.cluster,
+            collector=self.collector,
+            channel=self.channel,
+            jobs_run=jobs_run,
+            processes_run=self.cluster.processes_run,
+        )
+
+    def _run_jobs(self) -> int:
+        """Submit every profile's jobs through the scheduler; returns the count."""
         jobs_run = 0
         for profile in self.profiles:
             user = self.cluster.users.get(profile.username)
@@ -175,25 +206,7 @@ class DeploymentCampaign:
                 jobs_run += 1
             # Each user's activity spreads over the campaign window.
             self.cluster.filesystem.advance_clock(3600)
-
-        self.receiver.flush()
-        consolidator = Consolidator(self.store)
-        records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
-        # Profiles already carry anonymised names (user_1 ... user_12), so the
-        # UID mapping simply reflects the registered usernames.
-        user_names = {user.uid: user.username for user in self.cluster.users.all()}
-        return CampaignResult(
-            config=self.config,
-            records=records,
-            store=self.store,
-            user_names=user_names,
-            manifest=self.manifest,
-            cluster=self.cluster,
-            collector=self.collector,
-            channel=self.channel,
-            jobs_run=jobs_run,
-            processes_run=self.cluster.processes_run,
-        )
+        return jobs_run
 
 
 def run_campaign(scale: float = 0.01, seed: int = 42, *,

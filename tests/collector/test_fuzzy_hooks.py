@@ -88,6 +88,117 @@ class TestArtifactHasher:
         assert hasher.hashes_computed == 2
 
 
+class TestScriptExecutableCacheSeparation:
+    """Regression: a path first hashed as a script must still yield full
+    executable hashes -- the seed stored ``ExecutableHashes(digest, "", "")``
+    under the same key that ``executable_hashes`` read back."""
+
+    def test_executable_after_script_has_strings_and_symbols(self, app_cluster):
+        cluster, manifest = app_cluster
+        path = manifest.find_executable("icon", "cray-r1", "alice").path
+        hasher = ArtifactHasher(cluster.filesystem)
+        script_digest = hasher.script_hash(path)
+        hashes = hasher.executable_hashes(path)
+        assert hashes.file_hash == script_digest
+        assert hashes.strings_hash.count(":") == 2 and hashes.strings_hash != "3::"
+        assert hashes.symbols_hash.count(":") == 2 and hashes.symbols_hash != "3::"
+
+    def test_script_after_executable_reuses_file_hash(self, app_cluster):
+        cluster, manifest = app_cluster
+        path = manifest.find_executable("icon", "cray-r1", "alice").path
+        hasher = ArtifactHasher(cluster.filesystem)
+        hashes = hasher.executable_hashes(path)
+        computed = hasher.hashes_computed
+        assert hasher.script_hash(path) == hashes.file_hash
+        assert hasher.hashes_computed == computed  # served from the content tier
+
+
+class TestContentAddressedCache:
+    def test_identical_content_under_different_paths_hashes_once(self, app_cluster):
+        cluster, _ = app_cluster
+        content = b"#!/bin/payload\n" + bytes(range(256)) * 40
+        cluster.filesystem.add_file("/users/alice/tool", content, executable=True)
+        cluster.filesystem.advance_clock(100)
+        cluster.filesystem.add_file("/users/bob/a.out", content, executable=True)
+        hasher = ArtifactHasher(cluster.filesystem)
+        first = hasher.executable_hashes("/users/alice/tool")
+        second = hasher.executable_hashes("/users/bob/a.out")
+        assert first == second
+        assert hasher.hashes_computed == 1
+        assert hasher.content_cache_hits == 1
+
+    def test_mtime_change_with_same_content_is_a_content_hit(self, app_cluster):
+        cluster, _ = app_cluster
+        content = b"stable bytes " * 500
+        cluster.filesystem.add_file("/users/alice/stable", content, executable=True)
+        hasher = ArtifactHasher(cluster.filesystem)
+        hasher.executable_hashes("/users/alice/stable")
+        cluster.filesystem.advance_clock(50)
+        cluster.filesystem.add_file("/users/alice/stable", content, executable=True)
+        hasher.executable_hashes("/users/alice/stable")
+        assert hasher.hashes_computed == 1
+        assert hasher.content_cache_hits == 1
+
+    def test_content_cache_can_be_disabled(self, app_cluster):
+        cluster, _ = app_cluster
+        content = b"twice-hashed " * 300
+        cluster.filesystem.add_file("/users/alice/one", content, executable=True)
+        cluster.filesystem.add_file("/users/alice/two", content, executable=True)
+        hasher = ArtifactHasher(cluster.filesystem, content_cache_enabled=False)
+        hasher.executable_hashes("/users/alice/one")
+        hasher.executable_hashes("/users/alice/two")
+        assert hasher.hashes_computed == 2
+        assert hasher.content_cache_hits == 0
+
+    def test_script_content_shared_across_paths(self, app_cluster):
+        cluster, _ = app_cluster
+        body = b"import numpy\nprint('hi')\n" * 30
+        cluster.filesystem.add_file("/users/alice/a.py", body)
+        cluster.filesystem.add_file("/users/bob/copy.py", body)
+        hasher = ArtifactHasher(cluster.filesystem)
+        assert hasher.script_hash("/users/alice/a.py") == \
+            hasher.script_hash("/users/bob/copy.py")
+        assert hasher.hashes_computed == 1
+
+
+class TestListCacheLRU:
+    def test_oldest_entry_evicted_once_full(self, app_cluster):
+        cluster, _ = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem, list_cache_limit=3)
+        lists = [[f"/lib64/lib{index}.so"] for index in range(4)]
+        for items in lists:
+            hasher.list_hash(items)
+        assert hasher.hashes_computed == 4
+        assert len(hasher._list_cache) == 3
+        # lists[0] was evicted: re-querying it recomputes...
+        hasher.list_hash(lists[0])
+        assert hasher.hashes_computed == 5
+        # ...while the most recent entries are still served from cache.
+        hasher.list_hash(lists[3])
+        assert hasher.hashes_computed == 5
+        assert hasher.cache_hits >= 1
+
+    def test_recently_used_entry_survives_eviction(self, app_cluster):
+        cluster, _ = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem, list_cache_limit=2)
+        hasher.list_hash(["a"])
+        hasher.list_hash(["b"])
+        hasher.list_hash(["a"])         # refresh "a": now "b" is the LRU entry
+        hasher.list_hash(["c"])         # evicts "b"
+        computed = hasher.hashes_computed
+        hasher.list_hash(["a"])
+        assert hasher.hashes_computed == computed
+        hasher.list_hash(["b"])
+        assert hasher.hashes_computed == computed + 1
+
+    def test_cache_never_exceeds_limit(self, app_cluster):
+        cluster, _ = app_cluster
+        hasher = ArtifactHasher(cluster.filesystem, list_cache_limit=5)
+        for index in range(20):
+            hasher.list_hash([f"/opt/item{index}"])
+        assert len(hasher._list_cache) == 5
+
+
 def _run_one(cluster, manifest, executable, *, ranks=1, modules=("siren",), argv=None,
              python_script=None, imported_packages=(), mapped_files=()):
     """Helper: run one process through a fresh collector and return its messages."""

@@ -28,6 +28,21 @@ class TestSirenFramework:
         assert stats["messages_received"] > 0
         assert collector.section_errors == 0
 
+    def test_hashing_knobs_reach_collector(self, app_cluster):
+        cluster, manifest = app_cluster
+        config = SirenConfig(hash_engine=False, hash_content_cache=False,
+                             hash_concurrency=2)
+        framework = SirenFramework(config)
+        collector = framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            assert collector.hash_engine is False
+            assert collector.hasher.hasher.use_engine is False
+            assert collector.hasher.content_cache_enabled is False
+            assert collector.hasher.hash_concurrency == 2
+            framework.close()  # releases hash workers even when none were spawned
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+
     def test_double_deploy_rejected(self, app_cluster):
         cluster, manifest = app_cluster
         framework = SirenFramework(SirenConfig(loss_rate=0.0))

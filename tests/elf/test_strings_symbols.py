@@ -38,6 +38,48 @@ class TestExtractStrings:
         assert strings_blob(data) == "first string\nsecond string"
 
 
+def _extract_strings_reference(data: bytes, min_length: int = 4) -> list[str]:
+    """The seed per-byte loop, kept verbatim as the oracle for the regex scan."""
+    printable = frozenset(range(0x20, 0x7F)) | {0x09}
+    results: list[str] = []
+    current: list[int] = []
+    for byte in data:
+        if byte in printable:
+            current.append(byte)
+        else:
+            if len(current) >= min_length:
+                results.append(bytes(current).decode("ascii"))
+            current.clear()
+    if len(current) >= min_length:
+        results.append(bytes(current).decode("ascii"))
+    return results
+
+
+class TestRegexScanEquivalence:
+    """The compiled-regex scan must match the per-byte reference exactly."""
+
+    @pytest.mark.parametrize("min_length", [1, 2, 4, 10])
+    def test_random_blobs(self, min_length):
+        from repro.util.rng import SeededRNG
+
+        for seed in range(8):
+            blob = SeededRNG(seed).bytes(2048)
+            assert extract_strings(blob, min_length) == \
+                _extract_strings_reference(blob, min_length)
+
+    def test_boundary_bytes(self):
+        # 0x1F / 0x7F sit just outside the printable range, 0x20 / 0x7E inside.
+        blob = b"\x1f" + b" ~" * 3 + b"\x7f" + b"\t\t\t\t" + b"\x00" + b"abcd"
+        assert extract_strings(blob) == _extract_strings_reference(blob)
+        assert extract_strings(blob, 2) == _extract_strings_reference(blob, 2)
+
+    def test_all_printable_and_all_binary(self):
+        printable = bytes(range(0x20, 0x7F)) * 4
+        binary = bytes(range(0x00, 0x09)) * 50
+        assert extract_strings(printable) == _extract_strings_reference(printable)
+        assert extract_strings(binary) == []
+
+
 class TestNmListing:
     def _elf(self, functions, objects=()):
         builder = ELFBuilder()

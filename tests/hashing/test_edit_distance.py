@@ -69,6 +69,54 @@ class TestWeightedEditDistance:
             weighted_edit_distance(a, b) + weighted_edit_distance(b, c)
 
 
+class TestEarlyExitBound:
+    def test_exact_when_within_bound(self):
+        assert weighted_edit_distance("kitten", "sitting", bound=100) == \
+            weighted_edit_distance("kitten", "sitting")
+
+    def test_exceeding_bound_returns_value_above_bound(self):
+        a, b = "aaaaaaaaaa", "zzzzzzzzzz"
+        exact = weighted_edit_distance(a, b)
+        bounded = weighted_edit_distance(a, b, bound=3)
+        assert bounded > 3
+        assert bounded <= exact  # a lower bound on the true distance
+
+    def test_bound_equal_to_distance_is_exact(self):
+        a, b = "abcdef", "abcxef"
+        exact = weighted_edit_distance(a, b)
+        assert weighted_edit_distance(a, b, bound=exact) == exact
+
+    def test_threshold_decisions_match_unbounded(self):
+        """The fuzzy scorer only asks "is the distance >= len(a)+len(b)?";
+        that answer must be identical with and without the bound."""
+        import random
+
+        alphabet = "ABCDab01+/"
+        rng = random.Random(99)
+        for _ in range(200):
+            a = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+            b = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+            if not a or not b:
+                continue
+            bound = len(a) + len(b) - 1
+            exact = weighted_edit_distance(a, b)
+            bounded = weighted_edit_distance(a, b, bound=bound)
+            assert (exact > bound) == (bounded > bound)
+            if exact <= bound:
+                assert bounded == exact
+
+    def test_bound_with_transpositions_stays_safe(self):
+        # Transpositions skip one DP row; the exit must consider both recent
+        # rows or it could cut off a cheap transposition path.
+        a, b = "ab" * 10, "ba" * 10
+        exact = weighted_edit_distance(a, b)
+        for bound in range(0, exact + 5):
+            bounded = weighted_edit_distance(a, b, bound=bound)
+            assert (exact > bound) == (bounded > bound)
+            if exact <= bound:
+                assert bounded == exact
+
+
 class TestHasCommonSubstring:
     def test_short_strings_never_match(self):
         assert not has_common_substring("abc", "abc", length=7)

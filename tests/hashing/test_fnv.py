@@ -44,3 +44,18 @@ class TestFNV:
 
     def test_deterministic(self):
         assert fnv1a_64(b"payload") == fnv1a_64(b"payload")
+
+    def test_unrolled_loop_matches_per_byte_reference(self):
+        """fnv1a_64 defers the 64-bit mask across a 4-byte unroll; it must
+        agree with the per-byte definition at every length mod 4."""
+        def reference(data: bytes) -> int:
+            state = 0xCBF29CE484222325
+            for byte in data:
+                state = ((state ^ byte) * 0x00000100000001B3) & 0xFFFFFFFFFFFFFFFF
+            return state
+
+        from repro.util.rng import SeededRNG
+
+        for length in (0, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1001, 4096):
+            payload = SeededRNG(length).bytes(length)
+            assert fnv1a_64(payload) == reference(payload)
