@@ -32,6 +32,15 @@ class SirenConfig:
         different paths/mtimes hash once per deployment.
     hash_concurrency:
         Process-pool width for per-executable hashing (1 = in-process).
+    ingest_mode:
+        ``"batch"`` persists raw messages and consolidates in a post-pass
+        (the paper's pipeline); ``"streaming"`` consolidates messages as they
+        arrive through :mod:`repro.ingest`, so
+        :meth:`~repro.core.framework.SirenFramework.snapshot` serves live
+        analysis views mid-deployment.  Output records are identical.
+    ingest_shards:
+        Number of receiver+consolidator workers in streaming mode (each
+        process key lands deterministically on one shard).
     """
 
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
@@ -42,3 +51,5 @@ class SirenConfig:
     hash_engine: bool = True
     hash_content_cache: bool = True
     hash_concurrency: int = 1
+    ingest_mode: str = "batch"
+    ingest_shards: int = 1

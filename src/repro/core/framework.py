@@ -1,10 +1,20 @@
 """The SIREN framework facade.
 
 One :class:`SirenFramework` instance corresponds to one deployment of SIREN on
-a system: it owns the message store, the transport channel, the receiver and
-the collector, can be deployed onto a simulated cluster (registering the
-``LD_PRELOAD`` hook), and consolidates whatever has been collected so far into
-per-process records ready for analysis.
+a system: it owns the message store, the transport channel, the ingest path
+(batch receiver or streaming consolidators) and the collector, can be deployed
+onto a simulated cluster (registering the ``LD_PRELOAD`` hook), and
+consolidates whatever has been collected so far into per-process records ready
+for analysis.
+
+Two ingest modes (``SirenConfig.ingest_mode``):
+
+* ``"batch"`` -- the paper's pipeline: the receiver persists raw messages and
+  :meth:`consolidate` runs the batch post-pass;
+* ``"streaming"`` -- messages are consolidated as they arrive by
+  :class:`~repro.ingest.sharded.ShardedIngest` (``ingest_shards`` workers),
+  and :meth:`snapshot` / :meth:`consolidate` return the live record set
+  without waiting for the deployment to end.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from repro.core.config import SirenConfig
 from repro.core.pipeline import AnalysisPipeline
 from repro.db.store import MessageStore, ProcessRecord
 from repro.hpcsim.cluster import Cluster
+from repro.ingest.sharded import ShardedIngest
 from repro.postprocess.consolidate import Consolidator
 from repro.transport.channel import InMemoryChannel, LossyChannel
 from repro.transport.receiver import MessageReceiver
@@ -27,25 +38,34 @@ from repro.util.rng import SeededRNG
 
 @dataclass
 class SirenFramework:
-    """Collector + transport + database, wired together."""
+    """Collector + transport + ingest + database, wired together."""
 
     config: SirenConfig = field(default_factory=SirenConfig)
     store: MessageStore = field(init=False)
     channel: LossyChannel | InMemoryChannel = field(init=False)
-    receiver: MessageReceiver = field(init=False)
+    receiver: MessageReceiver | None = field(init=False, default=None)
+    ingest: ShardedIngest | None = field(init=False, default=None)
     sender: UDPSender = field(init=False)
     collector: SirenCollector | None = None
     cluster: Cluster | None = None
 
     def __post_init__(self) -> None:
+        if self.config.ingest_mode not in ("batch", "streaming"):
+            raise CollectionError(
+                f"unknown ingest_mode {self.config.ingest_mode!r} "
+                "(expected 'batch' or 'streaming')")
         self.store = MessageStore(self.config.store_path)
         if self.config.loss_rate > 0:
             self.channel = LossyChannel(loss_rate=self.config.loss_rate,
                                         rng=SeededRNG(self.config.rng_seed))
         else:
             self.channel = InMemoryChannel()
-        self.receiver = MessageReceiver(self.store)
-        self.receiver.attach(self.channel)
+        if self.config.ingest_mode == "streaming":
+            self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards)
+            self.ingest.attach(self.channel)
+        else:
+            self.receiver = MessageReceiver(self.store)
+            self.receiver.attach(self.channel)
         self.sender = UDPSender(self.channel, max_datagram_size=self.config.max_datagram_size)
 
     # ------------------------------------------------------------------ #
@@ -87,16 +107,52 @@ class SirenFramework:
     # data access
     # ------------------------------------------------------------------ #
     def consolidate(self, *, clear_messages: bool = False) -> list[ProcessRecord]:
-        """Flush the receiver and consolidate everything collected so far."""
+        """Flush the ingest path and consolidate everything collected so far.
+
+        In batch mode this runs the post-pass consolidator over the raw
+        messages table; in streaming mode it returns the live snapshot
+        (finalized records plus a non-destructive peek at still-open process
+        groups) -- record-for-record the same result.
+        """
+        if self.ingest is not None:
+            records = self.ingest.snapshot()
+            if clear_messages:
+                self.store.clear_messages()
+            return records
+        assert self.receiver is not None
         self.receiver.flush()
         return Consolidator(self.store).run(clear_messages=clear_messages)
+
+    def snapshot(self) -> list[ProcessRecord]:
+        """The records consolidated so far, mid-deployment.
+
+        Alias of :meth:`consolidate` without side effects on the raw
+        messages table; in streaming mode open process groups are peeked,
+        not closed, so collection continues undisturbed.
+        """
+        return self.consolidate()
+
+    def finalize(self) -> list[ProcessRecord]:
+        """End the ingest stream: persist every record, including open groups.
+
+        In streaming mode this closes all still-open process groups (e.g.
+        processes whose ``PROCEND`` datagram was lost) and flushes them to
+        the ``processes`` table, so an on-disk store holds the complete
+        record set batch mode would have produced; call it when the
+        deployment's traffic has ended.  In batch mode it is simply
+        :meth:`consolidate`.
+        """
+        if self.ingest is not None:
+            return self.ingest.finalize()
+        return self.consolidate()
 
     def analysis_pipeline(self, user_names: dict[int, str] | None = None,
                           ) -> AnalysisPipeline:
         """Consolidate everything collected so far into an analysis pipeline.
 
         Convenience for the common deploy -> run jobs -> analyse loop; each
-        call re-consolidates, so it reflects all messages received up to now.
+        call re-consolidates (or re-snapshots, in streaming mode), so it
+        reflects all messages received up to now.
         """
         return AnalysisPipeline(self.consolidate(), user_names or {})
 
@@ -112,11 +168,21 @@ class SirenFramework:
     def statistics(self) -> dict[str, float]:
         """Operational counters of the deployment."""
         stats: dict[str, float] = {
-            "messages_received": self.receiver.messages_received,
-            "decode_errors": self.receiver.decode_errors,
             "datagrams_sent": self.sender.datagrams_sent,
             "send_errors": self.sender.send_errors,
         }
+        if self.ingest is not None:
+            ingest_stats = self.ingest.statistics()
+            stats["messages_received"] = self.ingest.messages_received
+            stats["decode_errors"] = self.ingest.decode_errors
+            for name in ("records_built", "incomplete_records", "early_finalized",
+                         "idle_closed", "late_messages", "open_processes",
+                         "peak_open_processes"):
+                stats[f"ingest_{name}"] = ingest_stats[name]
+        else:
+            assert self.receiver is not None
+            stats["messages_received"] = self.receiver.messages_received
+            stats["decode_errors"] = self.receiver.decode_errors
         if isinstance(self.channel, LossyChannel):
             stats["datagrams_dropped"] = self.channel.datagrams_dropped
             stats["observed_loss_rate"] = self.channel.observed_loss_rate

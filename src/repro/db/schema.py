@@ -21,9 +21,13 @@ CREATE TABLE IF NOT EXISTS messages (
     chunk_total INTEGER NOT NULL DEFAULT 1,
     content     TEXT NOT NULL
 );
-CREATE INDEX IF NOT EXISTS idx_messages_process
-    ON messages (jobid, stepid, pid, hash, host, time);
-CREATE INDEX IF NOT EXISTS idx_messages_type ON messages (type);
+CREATE INDEX IF NOT EXISTS idx_messages_consolidation_order
+    ON messages (jobid, stepid, pid, hash, time, type, chunk_index);
+-- Legacy indexes: a near-prefix of the consolidation-order index and an
+-- unqueried type index; both only amplified ingest writes.  Dropped so old
+-- on-disk stores shed them too.
+DROP INDEX IF EXISTS idx_messages_process;
+DROP INDEX IF EXISTS idx_messages_type;
 """
 
 PROCESSES_SCHEMA = """
@@ -61,4 +65,6 @@ CREATE TABLE IF NOT EXISTS processes (
 CREATE INDEX IF NOT EXISTS idx_processes_job ON processes (jobid);
 CREATE INDEX IF NOT EXISTS idx_processes_exe ON processes (executable);
 CREATE INDEX IF NOT EXISTS idx_processes_category ON processes (category);
+CREATE UNIQUE INDEX IF NOT EXISTS ux_processes_key
+    ON processes (jobid, stepid, pid, hash, host, time);
 """

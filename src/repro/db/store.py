@@ -84,10 +84,39 @@ class MessageStore:
     def __init__(self, path: str = ":memory:") -> None:
         self.path = path
         self.connection = sqlite3.connect(path)
+        if path == ":memory:":
+            # Nothing to make crash-safe: trade all durability for speed.
+            self.connection.execute("PRAGMA synchronous=OFF")
+            self.connection.execute("PRAGMA journal_mode=MEMORY")
+        else:
+            # On-disk stores survive a receiver crash: WAL keeps readers and
+            # the ingest writer concurrent, NORMAL syncs at checkpoints.
+            self.connection.execute("PRAGMA journal_mode=WAL")
+            self.connection.execute("PRAGMA synchronous=NORMAL")
+        self._migrate_duplicate_processes()
         self.connection.executescript(MESSAGES_SCHEMA)
         self.connection.executescript(PROCESSES_SCHEMA)
-        self.connection.execute("PRAGMA synchronous=OFF")
-        self.connection.execute("PRAGMA journal_mode=MEMORY")
+
+    def _migrate_duplicate_processes(self) -> None:
+        """Drop duplicate process rows left by pre-upsert versions of the store.
+
+        Older versions used plain ``INSERT`` with no unique key, so repeated
+        consolidation of an on-disk store produced duplicate rows; creating
+        ``ux_processes_key`` over them would fail.  Keep the newest row per
+        process key (the most recent consolidation) before the index exists.
+        """
+        has_table = self.connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type='table' AND name='processes'"
+        ).fetchone()
+        has_index = self.connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type='index' AND name='ux_processes_key'"
+        ).fetchone()
+        if has_table and not has_index:
+            with self.connection:
+                self.connection.execute(
+                    "DELETE FROM processes WHERE id NOT IN (SELECT MAX(id)"
+                    " FROM processes GROUP BY jobid, stepid, pid, hash, host, time)"
+                )
 
     # ------------------------------------------------------------------ #
     # raw messages
@@ -119,14 +148,20 @@ class MessageStore:
         cursor = self.connection.execute("SELECT COUNT(*) FROM messages")
         return int(cursor.fetchone()[0])
 
-    def iter_messages(self) -> Iterator[tuple]:
-        """Iterate over raw message rows in process order."""
+    def iter_messages(self, *, batch_rows: int = 1024) -> Iterator[tuple]:
+        """Iterate over raw message rows in process order.
+
+        The ``ORDER BY`` is satisfied by ``idx_messages_consolidation_order``,
+        so consolidation streams straight off the index instead of sorting the
+        whole table; rows are fetched ``batch_rows`` at a time.
+        """
         cursor = self.connection.execute(
             "SELECT jobid, stepid, pid, hash, host, time, layer, type, chunk_index,"
             " chunk_total, content FROM messages"
             " ORDER BY jobid, stepid, pid, hash, time, type, chunk_index"
         )
-        yield from cursor
+        while rows := cursor.fetchmany(batch_rows):
+            yield from rows
 
     def clear_messages(self) -> None:
         """Delete all raw messages (used after consolidation to save memory)."""
@@ -137,13 +172,45 @@ class MessageStore:
     # consolidated processes
     # ------------------------------------------------------------------ #
     def insert_processes(self, records: Iterable[ProcessRecord]) -> int:
-        """Insert consolidated per-process records."""
+        """Insert consolidated per-process records (idempotent per process key).
+
+        Delegates to :meth:`insert_or_replace_processes`: the ``processes``
+        table is unique per ``(jobid, stepid, pid, hash, host, time)``, so
+        re-consolidating the same store updates rows in place instead of
+        accumulating duplicates.
+        """
+        return self.insert_or_replace_processes(records)
+
+    def insert_or_replace_processes(self, records: Iterable[ProcessRecord]) -> int:
+        """Upsert consolidated records, keyed by the unique process header.
+
+        Re-consolidating the same store (e.g. repeated
+        :meth:`~repro.core.framework.SirenFramework.consolidate` calls while
+        messages keep arriving) rebuilds records from *more* data each time,
+        so the newest build replaces the previous row.
+        """
+        return self._insert_processes("INSERT OR REPLACE", records)
+
+    def insert_processes_if_absent(self, records: Iterable[ProcessRecord]) -> int:
+        """Insert consolidated records, keeping any existing row per key.
+
+        The streaming-ingest flush primitive: the *first* close of a process
+        group carries all of its data (on an ordered transport, only a
+        content-free late ``PROCEND`` can ever resurrect a key), so an
+        already-present row must win.  Returns how many rows were actually
+        inserted.
+        """
+        before = self.connection.total_changes
+        self._insert_processes("INSERT OR IGNORE", records)
+        return self.connection.total_changes - before
+
+    def _insert_processes(self, verb: str, records: Iterable[ProcessRecord]) -> int:
         columns = ", ".join(_PROCESS_FIELDS)
         placeholders = ", ".join("?" for _ in _PROCESS_FIELDS)
         rows = [tuple(getattr(record, name) for name in _PROCESS_FIELDS) for record in records]
         with self.connection:
             self.connection.executemany(
-                f"INSERT INTO processes ({columns}) VALUES ({placeholders})", rows
+                f"{verb} INTO processes ({columns}) VALUES ({placeholders})", rows
             )
         return len(rows)
 

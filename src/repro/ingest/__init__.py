@@ -1,0 +1,32 @@
+"""Streaming ingest: consolidate SIREN messages as they arrive.
+
+The batch pipeline (receiver persists raw messages, a post-pass
+:class:`~repro.postprocess.consolidate.Consolidator` re-reads and re-groups
+everything) cannot serve a continuously running collector.  This subpackage
+turns ingest into a live system:
+
+* :mod:`repro.ingest.incremental` --
+  :class:`~repro.ingest.incremental.IncrementalConsolidator` keeps open
+  per-process message groups, finalizes each record the moment its
+  ``PROCEND`` confirms the expected content types are complete (with an
+  epoch/idle close for lossy stragglers), and flushes finished records in
+  batches through the store's first-close-wins insert;
+* :mod:`repro.ingest.sharded` --
+  :class:`~repro.ingest.sharded.ShardedIngest` partitions the datagram
+  stream across N receiver+consolidator shards by a stable FNV hash of the
+  process key and merges their counters.
+
+Both are pinned record-for-record equivalent to the batch consolidator (see
+``tests/ingest/``); ``ingest_mode="streaming"`` on
+:class:`~repro.workload.campaign.CampaignConfig` /
+:class:`~repro.core.config.SirenConfig` selects them end to end.
+"""
+
+from repro.ingest.incremental import IncrementalConsolidator
+from repro.ingest.sharded import ShardedIngest, shard_of
+
+__all__ = [
+    "IncrementalConsolidator",
+    "ShardedIngest",
+    "shard_of",
+]

@@ -1,0 +1,166 @@
+"""Sharded streaming ingest: N receiver + consolidator workers behind one front.
+
+The paper's receiver is a single UDP server; at the traffic the roadmap aims
+for, one consolidator becomes the bottleneck long before the network does.
+:class:`ShardedIngest` partitions the datagram stream across ``shards``
+independent :class:`~repro.transport.receiver.MessageReceiver` +
+:class:`~repro.ingest.incremental.IncrementalConsolidator` pairs, keyed by a
+stable FNV-1a hash of the process header -- every message of one process
+lands on the same shard, so each shard consolidates a disjoint set of
+process keys and the shard outputs merely concatenate.
+
+The front decodes each datagram exactly once (counting decode errors
+centrally) and routes the decoded message via the receivers' pre-decoded
+fast path, so sharding adds routing cost but no second decode.  Shard
+assignment is deterministic across runs and processes (FNV, not Python's
+randomised ``hash``), keeping campaign results reproducible counter-for-
+counter, not just record-for-record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.store import MessageStore, ProcessRecord
+from repro.hashing.fnv import fnv1a_32
+from repro.ingest.incremental import IncrementalConsolidator
+from repro.transport.channel import Channel
+from repro.transport.messages import UDPMessage
+from repro.transport.receiver import MessageReceiver
+from repro.util.errors import TransportError
+
+
+def _in_key_order(records: list[ProcessRecord]) -> list[ProcessRecord]:
+    """Sort records by the process header key (the batch consolidator's order)."""
+    return sorted(records, key=lambda r: (r.jobid, r.stepid, r.pid, r.hash, r.host, r.time))
+
+
+def shard_of(message: UDPMessage, shards: int) -> int:
+    """Deterministic shard index for a message's process key."""
+    key = (f"{message.jobid}\x1f{message.stepid}\x1f{message.pid}\x1f"
+           f"{message.path_hash}\x1f{message.host}\x1f{message.time}")
+    return fnv1a_32(key.encode("utf-8")) % shards
+
+
+@dataclass
+class ShardedIngest:
+    """Partition a datagram stream across independent streaming consolidators.
+
+    With ``shards=1`` this degenerates to a single receiver + consolidator --
+    the campaign's plain ``ingest_mode="streaming"`` wiring uses exactly that.
+    All shards share one :class:`MessageStore`; their process-key sets are
+    disjoint, so the upsert flushes never collide.
+    """
+
+    store: MessageStore
+    shards: int = 1
+    batch_size: int = 500
+    flush_batch_size: int = 64
+    idle_epochs: int = 2
+    persist_raw: bool = False
+    decode_errors: int = 0
+    receivers: list[MessageReceiver] = field(init=False)
+    consolidators: list[IncrementalConsolidator] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise TransportError("ingest needs at least one shard")
+        self.consolidators = [
+            IncrementalConsolidator(self.store, flush_batch_size=self.flush_batch_size,
+                                    idle_epochs=self.idle_epochs)
+            for _ in range(self.shards)
+        ]
+        self.receivers = [
+            MessageReceiver(self.store, batch_size=self.batch_size, sink=consolidator,
+                            persist_raw=self.persist_raw)
+            for consolidator in self.consolidators
+        ]
+
+    # ------------------------------------------------------------------ #
+    # datagram path
+    # ------------------------------------------------------------------ #
+    def attach(self, channel: Channel) -> None:
+        """Subscribe the front to a channel."""
+        channel.subscribe(self.handle_datagram)
+
+    def handle_datagram(self, datagram: bytes) -> None:
+        """Decode once, route to the owning shard."""
+        try:
+            message = UDPMessage.decode(datagram)
+        except TransportError:
+            self.decode_errors += 1
+            return
+        shard = shard_of(message, self.shards) if self.shards > 1 else 0
+        self.receivers[shard].handle_message(message)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Flush every shard's receiver buffer; returns messages delivered."""
+        return sum(receiver.flush() for receiver in self.receivers)
+
+    def snapshot(self) -> list[ProcessRecord]:
+        """Live view: flush every shard, then read the shared store once.
+
+        Finalized records come back from the ``processes`` table (each shard
+        flushes its pending batch first; memory holds only in-flight
+        groups); still-open groups are peeked non-destructively.  Returned
+        in canonical process-key order -- the order the batch consolidator
+        emits -- so downstream analyses see the same sequence regardless of
+        shard count.
+        """
+        self.flush()
+        for consolidator in self.consolidators:
+            consolidator.flush()
+        records = self.store.load_processes()
+        finalized = {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time) for r in records}
+        for consolidator in self.consolidators:
+            records.extend(r for r in consolidator.peek_open()
+                           if (r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                           not in finalized)
+        return _in_key_order(records)
+
+    def finalize(self) -> list[ProcessRecord]:
+        """End of stream: flush, close every shard, return all records.
+
+        Like :meth:`snapshot`, read back from the shared store and returned
+        in canonical process-key order.
+        """
+        self.flush()
+        for consolidator in self.consolidators:
+            consolidator.close_all()
+        return _in_key_order(self.store.load_processes())
+
+    # ------------------------------------------------------------------ #
+    # merged counters
+    # ------------------------------------------------------------------ #
+    @property
+    def messages_received(self) -> int:
+        """Messages accepted across all shards."""
+        return sum(receiver.messages_received for receiver in self.receivers)
+
+    @property
+    def records_built(self) -> int:
+        """Records finalized across all shards."""
+        return sum(consolidator.records_built for consolidator in self.consolidators)
+
+    @property
+    def open_processes(self) -> int:
+        """Process groups currently open across all shards."""
+        return sum(consolidator.open_processes for consolidator in self.consolidators)
+
+    @property
+    def peak_open_processes(self) -> int:
+        """Sum of per-shard peaks (an upper bound on the true joint peak)."""
+        return sum(consolidator.peak_open_processes for consolidator in self.consolidators)
+
+    def statistics(self) -> dict[str, int]:
+        """Merged operational counters of all shards plus the front."""
+        merged: dict[str, int] = {"shards": self.shards, "decode_errors": self.decode_errors,
+                                  "messages_received": self.messages_received}
+        for consolidator in self.consolidators:
+            for name, value in consolidator.statistics().items():
+                merged[name] = merged.get(name, 0) + value
+        merged["peak_open_processes"] = self.peak_open_processes
+        return merged

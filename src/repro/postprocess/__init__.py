@@ -9,12 +9,21 @@ Two steps, exactly as in the paper:
    from the memory-mapped files of Python interpreter processes.
 """
 
-from repro.postprocess.consolidate import Consolidator, consolidate_store
+from repro.postprocess.consolidate import (
+    Consolidator,
+    MessageGroup,
+    build_process_record,
+    consolidate_store,
+    expected_types_for,
+)
 from repro.postprocess.python_merge import extract_python_packages, package_from_mapped_path
 
 __all__ = [
     "Consolidator",
+    "MessageGroup",
+    "build_process_record",
     "consolidate_store",
+    "expected_types_for",
     "extract_python_packages",
     "package_from_mapped_path",
 ]

@@ -102,8 +102,16 @@ class SocketChannel:
     real socket round trip; campaigns default to the in-memory channels.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 recv_buffer_bytes: int = 4 * 1024 * 1024) -> None:
         self._receiver_socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            # Campaigns drain between jobs, so a whole job's datagram burst
+            # must fit in the kernel queue; the default rcvbuf is too small.
+            self._receiver_socket.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                             recv_buffer_bytes)
+        except OSError:  # the OS may cap or refuse it; drain more often then
+            pass
         self._receiver_socket.bind((host, port))
         self._receiver_socket.setblocking(False)
         self._address = self._receiver_socket.getsockname()

@@ -1,13 +1,24 @@
 """The message receiver (the paper's Go UDP server, in Python).
 
-The receiver decodes incoming datagrams and inserts them into the SQLite
-message store.  Malformed datagrams are counted and dropped -- a receiver on a
-busy cluster cannot afford to crash because one packet was garbled.
+The receiver decodes incoming datagrams and hands them to its sinks.
+Malformed datagrams are counted and dropped -- a receiver on a busy cluster
+cannot afford to crash because one packet was garbled.
+
+Two sinks are supported, independently switchable:
+
+* **raw persistence** (``persist_raw=True``, the classic batch-ingest path):
+  decoded messages are batch-inserted into the SQLite ``messages`` table, to
+  be consolidated by a post-pass;
+* **a streaming sink** (``sink=...``): every flushed batch is fed to an
+  incremental consolidator, which builds process records *while the campaign
+  runs*.  Each flush also advances the sink's idle epoch, so the sink's
+  straggler-closing clock ticks in receiver batches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.db.store import MessageStore
 from repro.transport.channel import Channel
@@ -15,36 +26,59 @@ from repro.transport.messages import UDPMessage
 from repro.util.errors import TransportError
 
 
+class MessageSink(Protocol):
+    """Anything that can consume decoded messages incrementally."""
+
+    def feed_many(self, messages: list[UDPMessage]) -> None:
+        """Consume one flushed batch of decoded messages."""
+        ...
+
+    def advance_epoch(self) -> int:
+        """One batch boundary passed (the sink's idle/straggler clock)."""
+        ...
+
+
 @dataclass
 class MessageReceiver:
-    """Decode datagrams and persist them."""
+    """Decode datagrams and deliver them to the raw store and/or a streaming sink."""
 
     store: MessageStore
     messages_received: int = 0
     decode_errors: int = 0
     _buffer: list[UDPMessage] = field(default_factory=list)
     batch_size: int = 500
+    sink: MessageSink | None = None
+    persist_raw: bool = True
 
     def attach(self, channel: Channel) -> None:
-        """Subscribe to a channel so every delivered datagram reaches the store."""
+        """Subscribe to a channel so every delivered datagram reaches the sinks."""
         channel.subscribe(self.handle_datagram)
 
     def handle_datagram(self, datagram: bytes) -> None:
-        """Decode one datagram and buffer it for insertion."""
+        """Decode one datagram and buffer it for delivery."""
         try:
             message = UDPMessage.decode(datagram)
         except TransportError:
             self.decode_errors += 1
             return
+        self.handle_message(message)
+
+    def handle_message(self, message: UDPMessage) -> None:
+        """Buffer one already-decoded message (the sharded front's fast path)."""
         self._buffer.append(message)
         self.messages_received += 1
         if len(self._buffer) >= self.batch_size:
             self.flush()
 
     def flush(self) -> int:
-        """Insert all buffered messages into the store; returns how many."""
+        """Deliver all buffered messages to the sinks; returns how many."""
         if not self._buffer:
             return 0
-        inserted = self.store.insert_many(self._buffer)
+        delivered = len(self._buffer)
+        if self.persist_raw:
+            self.store.insert_many(self._buffer)
+        if self.sink is not None:
+            self.sink.feed_many(self._buffer)
+            self.sink.advance_epoch()
         self._buffer.clear()
-        return inserted
+        return delivered

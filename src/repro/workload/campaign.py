@@ -4,19 +4,26 @@
 
 1. build a cluster and install the corpus (libraries, system tools, Python,
    ``siren.so``, per-user scientific packages),
-2. deploy SIREN (message store, channel, receiver, sender, collector hook),
+2. deploy SIREN (message store, channel, ingest path, sender, collector hook),
 3. execute the scaled campaign: every user profile submits its jobs through
    the Slurm-like scheduler, each process is hooked and collected,
-4. consolidate the UDP messages into per-process records.
+4. consolidate the UDP messages into per-process records -- in a post-pass
+   (``ingest_mode="batch"``) or live while the jobs run
+   (``ingest_mode="streaming"``, optionally sharded across
+   ``ingest_shards`` receiver+consolidator workers).
 
 The result object carries everything the analysis layer and the benchmark
 harness need: the records, the store, the anonymised user mapping, the corpus
-manifest, and the transport/collection counters.
+manifest, and the transport/collection counters.  Streaming campaigns can
+additionally be observed mid-run through :meth:`DeploymentCampaign.snapshot`
+(e.g. from the ``on_job`` callback), which feeds the live record set straight
+into :class:`~repro.core.pipeline.AnalysisPipeline`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.collector.hooks import SirenCollector
 from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
@@ -24,10 +31,12 @@ from repro.corpus.builder import CorpusBuilder, CorpusManifest
 from repro.corpus.packages import PACKAGES_BY_NAME
 from repro.db.store import MessageStore, ProcessRecord
 from repro.hpcsim.cluster import Cluster
+from repro.ingest.sharded import ShardedIngest
 from repro.postprocess.consolidate import Consolidator
-from repro.transport.channel import InMemoryChannel, LossyChannel
+from repro.transport.channel import InMemoryChannel, LossyChannel, SocketChannel
 from repro.transport.receiver import MessageReceiver
 from repro.transport.sender import UDPSender
+from repro.util.errors import CollectionError
 from repro.util.rng import SeededRNG
 from repro.workload.profiles import (
     BASH_ENVIRONMENT_QUIRKS,
@@ -36,6 +45,8 @@ from repro.workload.profiles import (
     packages_used_by,
 )
 from repro.workload.scenarios import ScenarioBuilder
+
+CampaignChannel = LossyChannel | InMemoryChannel | SocketChannel
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,16 @@ class CampaignConfig:
     hash_engine: bool = True       #: single-pass hashing engine (identical digests)
     hash_content_cache: bool = True  #: content-addressed digest cache in the collector
     hash_concurrency: int = 1      #: process-pool width for per-executable hashing
+    #: ``"batch"`` = persist raw messages, consolidate in a post-pass (the
+    #: paper's pipeline); ``"streaming"`` = consolidate live while jobs run
+    #: (record-for-record identical output).  With streaming,
+    #: ``keep_raw_messages`` decides whether raw messages are *also* persisted.
+    ingest_mode: str = "batch"
+    ingest_shards: int = 1         #: streaming receiver+consolidator workers
+    #: ``"memory"`` = in-memory channel (lossy when ``loss_rate > 0``);
+    #: ``"socket"`` = real UDP datagrams over loopback, drained between jobs
+    #: (``loss_rate`` is ignored -- losses, if any, come from the kernel).
+    transport: str = "memory"
     #: guarantee every job template of every user runs at least once, so the
     #: rare-but-load-bearing cases (the UNKNOWN icon runs, the GROMACS sharing)
     #: are present even at very small scales.
@@ -77,9 +98,10 @@ class CampaignResult:
     manifest: CorpusManifest
     cluster: Cluster
     collector: SirenCollector
-    channel: LossyChannel | InMemoryChannel
+    channel: CampaignChannel
     jobs_run: int
     processes_run: int
+    ingest: ShardedIngest | None = None  #: streaming-mode ingest front (counters)
 
     @property
     def incomplete_fraction(self) -> float:
@@ -95,12 +117,16 @@ class DeploymentCampaign:
 
     config: CampaignConfig = field(default_factory=CampaignConfig)
     profiles: tuple[UserProfile, ...] = DEFAULT_PROFILES
+    #: called after every submitted job with the running job count -- the
+    #: hook point for mid-run :meth:`snapshot` calls and progress reporting.
+    on_job: Callable[[int], None] | None = None
     cluster: Cluster = field(init=False)
     manifest: CorpusManifest = field(init=False)
     collector: SirenCollector = field(init=False)
     store: MessageStore = field(init=False)
-    channel: LossyChannel | InMemoryChannel = field(init=False)
-    receiver: MessageReceiver = field(init=False)
+    channel: CampaignChannel = field(init=False)
+    receiver: MessageReceiver | None = field(init=False, default=None)
+    ingest: ShardedIngest | None = field(init=False, default=None)
     scenario_builder: ScenarioBuilder = field(init=False)
     rng: SeededRNG = field(init=False)
     _prepared: bool = False
@@ -112,6 +138,14 @@ class DeploymentCampaign:
         """Build the cluster, corpus and SIREN deployment (idempotent)."""
         if self._prepared:
             return
+        if self.config.ingest_mode not in ("batch", "streaming"):
+            raise CollectionError(
+                f"unknown ingest_mode {self.config.ingest_mode!r} "
+                "(expected 'batch' or 'streaming')")
+        if self.config.transport not in ("memory", "socket"):
+            raise CollectionError(
+                f"unknown transport {self.config.transport!r} "
+                "(expected 'memory' or 'socket')")
         self.rng = SeededRNG(self.config.seed)
         self.cluster = Cluster()
         corpus = CorpusBuilder(self.cluster, rng=self.rng.fork("corpus"))
@@ -123,15 +157,22 @@ class DeploymentCampaign:
             for package_name in packages_used_by(profile):
                 corpus.install_package(PACKAGES_BY_NAME[package_name], user)
 
-        # SIREN deployment: store <- receiver <- channel <- sender <- collector hook.
+        # SIREN deployment: store <- ingest <- channel <- sender <- collector hook.
         self.store = MessageStore(self.config.store_path)
-        if self.config.loss_rate > 0:
+        if self.config.transport == "socket":
+            self.channel = SocketChannel()
+        elif self.config.loss_rate > 0:
             self.channel = LossyChannel(loss_rate=self.config.loss_rate,
                                         rng=self.rng.fork("udp-loss"))
         else:
             self.channel = InMemoryChannel()
-        self.receiver = MessageReceiver(self.store)
-        self.receiver.attach(self.channel)
+        if self.config.ingest_mode == "streaming":
+            self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
+                                        persist_raw=self.config.keep_raw_messages)
+            self.ingest.attach(self.channel)
+        else:
+            self.receiver = MessageReceiver(self.store)
+            self.receiver.attach(self.channel)
         sender = UDPSender(self.channel)
         self.collector = SirenCollector(
             filesystem=self.cluster.filesystem,
@@ -154,12 +195,23 @@ class DeploymentCampaign:
         """Execute the campaign and return the consolidated result."""
         self.prepare()
         try:
-            jobs_run = self._run_jobs()
+            try:
+                jobs_run = self._run_jobs()
+            finally:
+                self.collector.close()  # release hash workers; caches stay warm
+            self._drain_socket()
+            if self.ingest is not None:
+                records = self.ingest.finalize()
+                if not self.config.keep_raw_messages:
+                    self.store.clear_messages()  # raw persistence was off; stays empty
+            else:
+                assert self.receiver is not None
+                self.receiver.flush()
+                consolidator = Consolidator(self.store)
+                records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
         finally:
-            self.collector.close()  # release hash workers; caches stay warm
-        self.receiver.flush()
-        consolidator = Consolidator(self.store)
-        records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
+            if isinstance(self.channel, SocketChannel):
+                self.channel.close()
         # Profiles already carry anonymised names (user_1 ... user_12), so the
         # UID mapping simply reflects the registered usernames.
         user_names = {user.uid: user.username for user in self.cluster.users.all()}
@@ -174,7 +226,28 @@ class DeploymentCampaign:
             channel=self.channel,
             jobs_run=jobs_run,
             processes_run=self.cluster.processes_run,
+            ingest=self.ingest,
         )
+
+    def snapshot(self) -> list[ProcessRecord]:
+        """The records consolidated so far, mid-campaign.
+
+        In streaming mode this is the live view (finalized records plus a
+        non-destructive peek at still-open process groups); in batch mode it
+        flushes the receiver and runs a full consolidation pass.  Call it
+        from the :attr:`on_job` hook for live Table-2/Table-7 analyses.
+        """
+        self._drain_socket()
+        if self.ingest is not None:
+            return self.ingest.snapshot()
+        assert self.receiver is not None
+        self.receiver.flush()
+        return Consolidator(self.store).run()
+
+    def _drain_socket(self) -> None:
+        """Pull queued loopback datagrams into the ingest path (socket transport)."""
+        if isinstance(self.channel, SocketChannel):
+            self.channel.drain()
 
     def _run_jobs(self) -> int:
         """Submit every profile's jobs through the scheduler; returns the count."""
@@ -204,6 +277,9 @@ class DeploymentCampaign:
                 )
                 self.cluster.run_job(profile.username, script)
                 jobs_run += 1
+                self._drain_socket()
+                if self.on_job is not None:
+                    self.on_job(jobs_run)
             # Each user's activity spreads over the campaign window.
             self.cluster.filesystem.advance_clock(3600)
         return jobs_run

@@ -68,6 +68,96 @@ class TestSirenFramework:
         assert 0.3 < stats["observed_loss_rate"] < 0.7
 
 
+class TestStreamingFramework:
+    def _run_job(self, cluster, manifest) -> None:
+        icon = manifest.find_executable("icon", "cray-r1", "alice")
+        script = JobScript(name="t", modules=("siren", *icon.required_modules),
+                           steps=(StepSpec(processes=(
+                               ProcessSpec(executable=icon.path),
+                               ProcessSpec(executable=manifest.tool("bash")),)),))
+        cluster.run_job("alice", script)
+
+    def test_streaming_consolidate_matches_batch(self, app_cluster):
+        cluster, manifest = app_cluster
+        results = {}
+        for mode in ("batch", "streaming"):
+            framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode=mode,
+                                                   ingest_shards=2))
+            framework.deploy(cluster, siren_library_path=manifest.siren_library)
+            try:
+                self._run_job(cluster, manifest)
+            finally:
+                cluster.runtime.unregister_hook(manifest.siren_library)
+            results[mode] = sorted(
+                (r.executable, r.category, r.file_h, r.objects, r.incomplete)
+                for r in framework.consolidate())
+        assert results["streaming"] == results["batch"]
+
+    def test_streaming_snapshot_and_statistics(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            self._run_job(cluster, manifest)
+            snapshot = framework.snapshot()
+            assert len(snapshot) == 2
+            # Snapshots are non-destructive: collection continues afterwards.
+            self._run_job(cluster, manifest)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        assert len(framework.consolidate()) == 4
+        stats = framework.statistics()
+        assert stats["messages_received"] > 0
+        assert stats["decode_errors"] == 0
+        assert stats["ingest_records_built"] >= 2
+        assert stats["ingest_peak_open_processes"] >= 1
+
+    def test_streaming_consolidate_persists_partial_batches(self, app_cluster):
+        """consolidate() must flush pending records to the processes table
+        even when fewer than flush_batch_size have been finalized."""
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            self._run_job(cluster, manifest)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        records = framework.consolidate()
+        assert framework.store.process_count() == len(records) == 2
+
+    def test_streaming_mode_never_persists_raw_messages(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            self._run_job(cluster, manifest)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        framework.consolidate()
+        assert framework.store.message_count() == 0
+
+    def test_finalize_persists_groups_whose_procend_was_lost(self):
+        from repro.collector.records import InfoType, Layer
+        from repro.transport.messages import UDPMessage
+
+        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
+        framework.sender.send(UDPMessage(
+            jobid="9", stepid="0", pid=1, path_hash="a" * 32, host="n1", time=5,
+            layer=Layer.SELF, info_type=InfoType.PROCINFO,
+            content="pid=1|exe=/usr/bin/x|category="))
+        # No PROCEND ever arrives: the group stays open, visible to
+        # snapshots but not yet persisted.
+        assert len(framework.snapshot()) == 1
+        assert framework.store.process_count() == 0
+        records = framework.finalize()
+        assert len(records) == 1
+        assert framework.store.process_count() == 1
+
+    def test_invalid_ingest_mode_rejected(self):
+        with pytest.raises(CollectionError):
+            SirenFramework(SirenConfig(ingest_mode="sideways"))
+
+
 class TestFrameworkAnalysisFacade:
     def _run_identification_job(self, cluster, manifest) -> None:
         icon = manifest.find_executable("icon", "cray-r1", "alice")

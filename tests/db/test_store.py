@@ -50,6 +50,31 @@ class TestMessageStorage:
             store.insert(_message())
             assert store.message_count() == 1
 
+    def test_in_memory_store_trades_durability_for_speed(self):
+        store = MessageStore()
+        (journal_mode,) = store.connection.execute("PRAGMA journal_mode").fetchone()
+        (synchronous,) = store.connection.execute("PRAGMA synchronous").fetchone()
+        assert journal_mode == "memory"
+        assert synchronous == 0  # OFF
+
+    def test_on_disk_store_is_crash_safe(self, tmp_path):
+        store = MessageStore(str(tmp_path / "siren.db"))
+        (journal_mode,) = store.connection.execute("PRAGMA journal_mode").fetchone()
+        (synchronous,) = store.connection.execute("PRAGMA synchronous").fetchone()
+        assert journal_mode == "wal"
+        assert synchronous == 1  # NORMAL
+        store.close()
+
+    def test_iter_messages_order_is_index_backed(self):
+        store = MessageStore()
+        store.insert_many([_message(pid=pid) for pid in range(5)])
+        plan = " ".join(row[3] for row in store.connection.execute(
+            "EXPLAIN QUERY PLAN SELECT jobid, stepid, pid, hash, host, time, layer,"
+            " type, chunk_index, chunk_total, content FROM messages"
+            " ORDER BY jobid, stepid, pid, hash, time, type, chunk_index"))
+        assert "idx_messages_consolidation_order" in plan
+        assert "USE TEMP B-TREE" not in plan
+
 
 class TestProcessRecords:
     def _record(self) -> ProcessRecord:
@@ -93,3 +118,61 @@ class TestProcessRecords:
         assert loaded.compilers == record.compilers
         assert loaded.uid == 1000
         assert loaded.incomplete == 0
+
+    def test_upsert_replaces_by_process_key(self):
+        store = MessageStore()
+        first = self._record()
+        store.insert_or_replace_processes([first])
+        updated = self._record()
+        updated.modules = "siren/0.1"
+        updated.incomplete = 1
+        store.insert_or_replace_processes([updated])
+        assert store.process_count() == 1
+        loaded = store.load_processes()[0]
+        assert loaded.modules == "siren/0.1"
+        assert loaded.incomplete == 1
+
+    def test_insert_if_absent_keeps_existing_row(self):
+        store = MessageStore()
+        first = self._record()
+        assert store.insert_processes_if_absent([first]) == 1
+        resurrected = self._record()
+        resurrected.modules = ""
+        resurrected.incomplete = 1
+        assert store.insert_processes_if_absent([resurrected]) == 0
+        loaded = store.load_processes()[0]
+        assert loaded.modules == first.modules
+        assert loaded.incomplete == 0
+
+    def test_upsert_keeps_distinct_keys_separate(self):
+        store = MessageStore()
+        first = self._record()
+        other = self._record()
+        other.hash = "e" * 32  # exec-chain sibling: same pid/time, new image
+        store.insert_or_replace_processes([first, other])
+        assert store.process_count() == 2
+
+    def test_reconsolidation_is_idempotent(self):
+        store = MessageStore()
+        record = self._record()
+        store.insert_processes([record])
+        store.insert_processes([record])
+        assert store.process_count() == 1
+
+    def test_legacy_store_with_duplicate_rows_migrates(self, tmp_path):
+        """Pre-upsert stores could hold duplicate process rows; opening one
+        must dedup (keeping the newest row) instead of failing to build the
+        unique index."""
+        path = str(tmp_path / "legacy.db")
+        store = MessageStore(path)
+        store.connection.execute("DROP INDEX ux_processes_key")
+        store.insert_processes([self._record()])
+        columns = ", ".join(name for name in self._record().__dataclass_fields__)
+        with store.connection:
+            store.connection.execute(
+                f"INSERT INTO processes ({columns}) SELECT {columns} FROM processes")
+        assert store.process_count() == 2
+        store.close()
+        reopened = MessageStore(path)  # must not raise IntegrityError
+        assert reopened.process_count() == 1
+        reopened.close()

@@ -1,0 +1,100 @@
+"""Tests for the sharded streaming-ingest front."""
+
+import pytest
+
+from repro.collector.records import InfoType, Layer
+from repro.db.store import MessageStore
+from repro.ingest import ShardedIngest, shard_of
+from repro.transport.messages import UDPMessage
+from repro.util.errors import TransportError
+
+
+def _record_set(records):
+    return sorted(tuple(getattr(r, name) for name in r.__dataclass_fields__)
+                  for r in records)
+
+
+def _message(pid: int, info_type: InfoType = InfoType.PROCINFO) -> UDPMessage:
+    return UDPMessage(jobid="1", stepid="0", pid=pid, path_hash=f"{pid:032x}", host="n1",
+                      time=100, layer=Layer.SELF, info_type=info_type, content="x")
+
+
+class TestShardRouting:
+    def test_same_process_key_always_same_shard(self):
+        for pid in range(50):
+            shards = {shard_of(_message(pid, info_type), 4)
+                      for info_type in (InfoType.PROCINFO, InfoType.OBJECTS,
+                                        InfoType.PROCEND)}
+            assert len(shards) == 1
+
+    def test_routing_is_deterministic_and_spread(self):
+        assignments = [shard_of(_message(pid), 4) for pid in range(200)]
+        assert assignments == [shard_of(_message(pid), 4) for pid in range(200)]
+        assert set(assignments) == {0, 1, 2, 3}
+
+    def test_at_least_one_shard_required(self):
+        with pytest.raises(TransportError):
+            ShardedIngest(MessageStore(), shards=0)
+
+
+class TestShardedIngestFront:
+    def test_decode_errors_counted_at_front(self):
+        front = ShardedIngest(MessageStore(), shards=2)
+        front.handle_datagram(b"garbage")
+        front.handle_datagram(_message(1).encode())
+        front.flush()
+        assert front.decode_errors == 1
+        assert front.messages_received == 1
+
+    def test_counters_merge_across_shards(self):
+        front = ShardedIngest(MessageStore(), shards=3, batch_size=4)
+        for pid in range(30):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.FILEMETA).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        records = front.finalize()
+        assert len(records) == 30
+        assert front.messages_received == 90
+        assert front.records_built == 30
+        stats = front.statistics()
+        assert stats["shards"] == 3
+        assert stats["records_built"] == 30
+        assert stats["messages_consumed"] == 90
+        # Every shard actually participated.
+        assert all(c.records_built > 0 for c in front.consolidators)
+
+    def test_results_in_canonical_key_order(self):
+        front = ShardedIngest(MessageStore(), shards=4)
+        for pid in (44, 7, 190, 23):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        records = front.finalize()
+        assert [record.pid for record in records] == [7, 23, 44, 190]
+
+
+class TestShardedEqualsBatch:
+    @pytest.mark.parametrize("shards", [1, 3])
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.01])
+    def test_sharded_streaming_equivalence(self, dual_ingest, shards, loss_rate):
+        harness = dual_ingest(loss_rate=loss_rate, seed=5)
+        stream_store = MessageStore()
+        front = ShardedIngest(stream_store, shards=shards, batch_size=16,
+                              flush_batch_size=8)
+        front.attach(harness.channel)
+
+        harness.workload.emit_campaign(processes=80)
+
+        batch = harness.batch_records()
+        streamed = front.finalize()
+        assert _record_set(streamed) == _record_set(batch)
+        assert _record_set(stream_store.load_processes()) == _record_set(batch)
+
+    def test_shard_count_does_not_change_output(self, dual_ingest):
+        outputs = {}
+        for shards in (1, 2, 5):
+            harness = dual_ingest(loss_rate=0.01, seed=9)
+            front = ShardedIngest(MessageStore(), shards=shards)
+            front.attach(harness.channel)
+            harness.workload.emit_campaign(processes=60)
+            outputs[shards] = _record_set(front.finalize())
+        assert outputs[1] == outputs[2] == outputs[5]

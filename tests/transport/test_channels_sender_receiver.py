@@ -134,6 +134,76 @@ class TestMessageReceiver:
         assert store.message_count() == 25
 
 
+class _RecordingSink:
+    """Minimal MessageSink: records batches and epoch ticks."""
+
+    def __init__(self):
+        self.batches: list[list] = []
+        self.epochs = 0
+
+    def feed_many(self, messages):
+        self.batches.append(list(messages))
+
+    def advance_epoch(self):
+        self.epochs += 1
+        return 0
+
+
+class TestReceiverSink:
+    def test_sink_receives_batches_and_epochs(self):
+        store = MessageStore()
+        sink = _RecordingSink()
+        receiver = MessageReceiver(store, sink=sink, batch_size=10)
+        for index in range(25):
+            receiver.handle_datagram(_message(f"m{index}").encode())
+        assert [len(batch) for batch in sink.batches] == [10, 10]
+        assert sink.epochs == 2
+
+    def test_partial_batch_flushed_to_sink(self):
+        store = MessageStore()
+        sink = _RecordingSink()
+        receiver = MessageReceiver(store, sink=sink, batch_size=10)
+        for index in range(3):
+            receiver.handle_datagram(_message(f"m{index}").encode())
+        assert receiver.flush() == 3
+        assert [len(batch) for batch in sink.batches] == [3]
+        assert sink.epochs == 1
+        # An empty flush delivers nothing and does not tick the epoch clock.
+        assert receiver.flush() == 0
+        assert sink.epochs == 1
+
+    def test_decode_errors_counted_not_fed_to_sink(self):
+        store = MessageStore()
+        sink = _RecordingSink()
+        receiver = MessageReceiver(store, sink=sink, persist_raw=False, batch_size=10)
+        receiver.handle_datagram(b"garbage")
+        receiver.handle_datagram(_message("good").encode())
+        receiver.handle_datagram(b"\xff\xfe not utf-8 \x80")
+        receiver.flush()
+        assert receiver.decode_errors == 2
+        assert receiver.messages_received == 1
+        assert sum(len(batch) for batch in sink.batches) == 1
+
+    def test_persist_raw_off_keeps_messages_table_empty(self):
+        store = MessageStore()
+        sink = _RecordingSink()
+        receiver = MessageReceiver(store, sink=sink, persist_raw=False, batch_size=2)
+        for index in range(6):
+            receiver.handle_datagram(_message(f"m{index}").encode())
+        receiver.flush()
+        assert store.message_count() == 0
+        assert sum(len(batch) for batch in sink.batches) == 6
+
+    def test_persist_raw_and_sink_together(self):
+        store = MessageStore()
+        sink = _RecordingSink()
+        receiver = MessageReceiver(store, sink=sink, persist_raw=True, batch_size=4)
+        for index in range(4):
+            receiver.handle_datagram(_message(f"m{index}").encode())
+        assert store.message_count() == 4
+        assert sum(len(batch) for batch in sink.batches) == 4
+
+
 class TestSocketChannel:
     def test_real_udp_loopback_roundtrip(self):
         store = MessageStore()

@@ -3,8 +3,16 @@
 import pytest
 
 from repro.collector.classify import ExecutableCategory
+from repro.core import AnalysisPipeline
+from repro.util.errors import CollectionError
 from repro.workload import CampaignConfig, DeploymentCampaign
-from repro.workload.profiles import PROFILES_BY_NAME
+from repro.workload.profiles import DEFAULT_PROFILES, PROFILES_BY_NAME
+
+
+def _record_list(records):
+    """Order-sensitive canonical form (streaming must match batch exactly)."""
+    return [tuple(getattr(r, name) for name in r.__dataclass_fields__)
+            for r in records]
 
 
 class TestCampaignConfig:
@@ -72,6 +80,92 @@ class TestCampaignExecution:
         config = CampaignConfig(scale=0.0, seed=3, loss_rate=0.0)
         result = DeploymentCampaign(config=config).run()
         assert result.incomplete_fraction == 0.0
+
+
+class TestStreamingIngest:
+    """The streaming ingest spine: equivalence, snapshots, real sockets."""
+
+    #: A small subset keeps each extra campaign run fast; the shared
+    #: campaign fixture already exercises the full 12-user batch path.
+    PROFILES = DEFAULT_PROFILES[:4]
+
+    def _run(self, *, loss_rate: float, ingest_mode: str = "batch",
+             ingest_shards: int = 1, transport: str = "memory", seed: int = 17,
+             **overrides):
+        config = CampaignConfig(scale=0.0, seed=seed, loss_rate=loss_rate,
+                                ingest_mode=ingest_mode, ingest_shards=ingest_shards,
+                                transport=transport, **overrides)
+        return DeploymentCampaign(config=config, profiles=self.PROFILES).run()
+
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.0002, 0.01])
+    def test_streaming_identical_to_batch(self, loss_rate):
+        batch = self._run(loss_rate=loss_rate)
+        streaming = self._run(loss_rate=loss_rate, ingest_mode="streaming",
+                              keep_raw_messages=False)
+        assert _record_list(streaming.records) == _record_list(batch.records)
+        assert streaming.ingest is not None
+        assert streaming.ingest.records_built == len(batch.records)
+        # Pure streaming never materialised the raw messages table.
+        assert streaming.store.message_count() == 0
+        assert batch.store.message_count() > 0
+
+    def test_sharded_streaming_identical_to_batch(self):
+        batch = self._run(loss_rate=0.01)
+        sharded = self._run(loss_rate=0.01, ingest_mode="streaming", ingest_shards=4,
+                            keep_raw_messages=False)
+        assert _record_list(sharded.records) == _record_list(batch.records)
+        stats = sharded.ingest.statistics()
+        assert stats["shards"] == 4
+        assert stats["records_built"] == len(batch.records)
+        # Streaming held far fewer groups open than the total process count.
+        assert 0 < sharded.ingest.peak_open_processes < len(batch.records)
+
+    def test_streaming_keeps_raw_messages_when_asked(self):
+        streaming = self._run(loss_rate=0.0, ingest_mode="streaming",
+                              keep_raw_messages=True)
+        assert streaming.store.message_count() > 0
+        assert streaming.store.process_count() == len(streaming.records)
+
+    def test_mid_run_snapshot_is_analyzable(self):
+        config = CampaignConfig(scale=0.0, seed=4, loss_rate=0.0002,
+                                ingest_mode="streaming", ingest_shards=2,
+                                keep_raw_messages=False)
+        campaign = DeploymentCampaign(config=config, profiles=self.PROFILES)
+        snapshots: list[list] = []
+
+        def on_job(jobs_run: int) -> None:
+            if jobs_run == 5:
+                snapshots.append(campaign.snapshot())
+
+        campaign.on_job = on_job
+        result = campaign.run()
+        (snapshot,) = snapshots
+        assert 0 < len(snapshot) < len(result.records)
+        rows = AnalysisPipeline(snapshot, result.user_names).table2_user_activity()
+        assert rows and sum(row.total_processes for row in rows) > 0
+        # Every snapshotted process key is present in the final record set.
+        final_keys = {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                      for r in result.records}
+        assert {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                for r in snapshot} <= final_keys
+
+    def test_socket_transport_end_to_end(self):
+        """Sender -> real loopback UDP -> sharded receivers == in-memory batch."""
+        batch = self._run(loss_rate=0.0, seed=9)
+        socketed = self._run(loss_rate=0.0, seed=9, transport="socket",
+                             ingest_mode="streaming", ingest_shards=2,
+                             keep_raw_messages=False)
+        assert _record_list(socketed.records) == _record_list(batch.records)
+        assert socketed.ingest.decode_errors == 0
+        assert socketed.incomplete_fraction == 0.0
+
+    def test_invalid_ingest_mode_rejected(self):
+        with pytest.raises(CollectionError):
+            DeploymentCampaign(CampaignConfig(ingest_mode="firehose")).prepare()
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(CollectionError):
+            DeploymentCampaign(CampaignConfig(transport="carrier-pigeon")).prepare()
 
 
 class TestHashingKnobs:
