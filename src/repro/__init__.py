@@ -25,6 +25,7 @@ Quickstart
 >>> rows = pipeline.table5_user_applications()
 """
 
+from repro.analysis.live import LiveAnalysis
 from repro.core import AnalysisPipeline, SirenConfig, SirenFramework
 from repro.workload import CampaignConfig, CampaignResult, DeploymentCampaign
 
@@ -32,6 +33,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisPipeline",
+    "LiveAnalysis",
     "SirenConfig",
     "SirenFramework",
     "CampaignConfig",

@@ -18,12 +18,16 @@ Each module corresponds to one family of results in the paper's evaluation
 * :mod:`repro.analysis.simindex` -- inverted n-gram index over CTPH digests
   that prunes the similarity search's candidate pairs without changing its
   results,
+* :mod:`repro.analysis.live` -- incrementally maintained Table 2/3/8 stats
+  and similarity search over streaming record deltas (mid-campaign views in
+  O(new records), byte-identical to a rebuild),
 * :mod:`repro.analysis.report` -- text rendering of all of the above.
 """
 
 from repro.analysis.compilers import CompilerCombinationRow, compiler_combination_table
 from repro.analysis.labels import LabelRow, derive_label, user_application_table
 from repro.analysis.libfilter import LibraryUsageRow, library_usage_table
+from repro.analysis.live import LiveAnalysis
 from repro.analysis.matrices import compiler_label_matrix, library_label_matrix
 from repro.analysis.pythonpkgs import PythonPackageRow, python_package_table
 from repro.analysis.similarity import SimilarityResult, SimilaritySearch
@@ -51,6 +55,7 @@ __all__ = [
     "library_label_matrix",
     "PythonPackageRow",
     "python_package_table",
+    "LiveAnalysis",
     "SimilarityResult",
     "SimilaritySearch",
     "DigestIndex",

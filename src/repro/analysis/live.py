@@ -1,0 +1,521 @@
+"""Live incremental analysis over streaming snapshots.
+
+The paper computes its evaluation once, after the campaign; the streaming
+ingest spine (PR 3) made the *records* live, but every mid-run peek still
+rebuilt the whole analysis layer from scratch -- ``AnalysisPipeline``
+regrouped all records, ``SimilaritySearch`` rebuilt its instance list and
+n-gram index, and the compare LRU started cold, making each observation
+O(campaign).  :class:`LiveAnalysis` replaces that with a consumer of record
+*deltas*: each pull folds only the newly finalized records into streaming
+accumulators (Table 2/3/8 group stats, the similarity instance list, the
+inverted n-gram index) and overlays the handful of still-open process groups
+transiently, so a snapshot analysis costs O(new records + open groups +
+result size) instead of O(everything so far).
+
+Equivalence argument
+--------------------
+Every view is pinned *byte-identical* to a fresh rebuild over the same
+records (``tests/analysis/test_live.py``):
+
+* **Finalized records are immutable.**  Streaming ingest writes records
+  through the first-close-wins insert, so a committed record never changes
+  and folding it into an accumulator exactly once is equivalent to
+  regrouping it on every snapshot.
+* **Open groups are overlaid, never committed.**  A still-open process
+  group's peek record can change as messages arrive, so it only adjusts the
+  view being rendered; the next delta re-peeks it.  Keys that are already
+  finalized (a very late message resurrecting a closed group) are dropped,
+  exactly as :meth:`~repro.ingest.sharded.ShardedIngest.snapshot` does.
+* **Row and tie order are reproduced, not approximated.**  A rebuild's
+  pre-sort row order is the group's first occurrence in the canonically
+  (process-key) ordered record list -- equivalently, the minimum process
+  key over the group's records.  Each accumulator tracks that minimum, the
+  view sorts groups by it before applying the table's own stable sort, and
+  similarity pools are ordered the same way -- so even ties break
+  identically to the batch recompute.
+* **The index only accretes.**  :meth:`SimilarityIndex.add` assigns ids in
+  append order and posting lists only grow, so an index extended one delta
+  at a time equals one built over the full instance list; instances that
+  exist only in the open-group overlay are compared directly (the same
+  path ``SimilaritySearch.query`` takes for caller-supplied candidates),
+  which can only *add* comparisons, never change scores.
+
+One :class:`~repro.hashing.ssdeep.FuzzyHasher` lives for the whole
+analysis, so the compare LRU stays warm across snapshots -- repeat
+baseline-vs-candidate alignments are cache hits instead of fresh
+edit-distance runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.analysis.labels import LABEL_RULES, UNKNOWN_LABEL
+from repro.analysis.similarity import (
+    HASH_COLUMNS,
+    ExecutableInstance,
+    SimilarityResult,
+    SimilaritySearch,
+    instance_from_record,
+)
+from repro.analysis.simindex import DEFAULT_INDEX_THRESHOLD
+from repro.analysis.stats import (
+    PythonInterpreterRow,
+    SystemExecutableRow,
+    UserActivityRow,
+    _user_label,
+    activity_totals,
+)
+from repro.collector.classify import ExecutableCategory
+from repro.db.store import ProcessRecord
+from repro.hashing.ssdeep import FuzzyHasher
+from repro.ingest.sharded import ProcessDelta
+from repro.util.errors import AnalysisError
+
+#: The canonical process key -- the batch consolidator's record order.
+ProcessKey = tuple[str, str, int, str, str, int]
+
+
+def _process_key(record: ProcessRecord) -> ProcessKey:
+    return (record.jobid, record.stepid, record.pid, record.hash,
+            record.host, record.time)
+
+
+class DeltaSource(Protocol):
+    """Anything that can serve incremental record deltas (the live feed)."""
+
+    def snapshot_delta(self, cursor: int = 0) -> ProcessDelta:
+        """What changed since ``cursor``; see :class:`ProcessDelta`."""
+        ...
+
+
+@dataclass
+class _UserStat:
+    """Streaming accumulator behind one Table 2 row."""
+
+    first_key: ProcessKey
+    jobs: set[str] = field(default_factory=set)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def absorb(self, record: ProcessRecord, key: ProcessKey) -> None:
+        if key < self.first_key:
+            self.first_key = key
+        if record.jobid:
+            self.jobs.add(record.jobid)
+        self.counts[record.category] = self.counts.get(record.category, 0) + 1
+
+
+@dataclass
+class _GroupStat:
+    """Streaming accumulator behind one Table 3/8 row (users/jobs/processes/hashes)."""
+
+    first_key: ProcessKey
+    users: set[str] = field(default_factory=set)
+    jobs: set[str] = field(default_factory=set)
+    processes: int = 0
+    hashes: set[str] = field(default_factory=set)
+
+    def absorb(self, key: ProcessKey, user: str, jobid: str, content_hash: str) -> None:
+        if key < self.first_key:
+            self.first_key = key
+        self.users.add(user)
+        if jobid:
+            self.jobs.add(jobid)
+        self.processes += 1
+        if content_hash:
+            self.hashes.add(content_hash)
+
+
+def _absorb_grouped(stats: dict[str, "_GroupStat"], group: str, key: ProcessKey,
+                    user: str, jobid: str, content_hash: str) -> None:
+    stat = stats.get(group)
+    if stat is None:
+        stat = stats[group] = _GroupStat(first_key=key)
+    stat.absorb(key, user, jobid, content_hash)
+
+
+@dataclass
+class LiveAnalysis:
+    """Incrementally maintained Table 2/3/8 stats and similarity search.
+
+    Feed it one of three ways:
+
+    * **bound** -- :meth:`bind` it to a delta source (a
+      :class:`~repro.ingest.sharded.ShardedIngest`, a streaming
+      :class:`~repro.core.framework.SirenFramework`, or a streaming
+      :class:`~repro.workload.campaign.DeploymentCampaign`); every view
+      method then pulls the latest delta first, so reads are always current;
+    * **manual deltas** -- :meth:`commit` append-only finalized records and
+      :meth:`refresh_open` the open-group overlay yourself;
+    * **full snapshots** -- :meth:`observe` a complete record list and let
+      the analysis diff it by process key (the adapter for batch-mode
+      consolidation, whose re-consolidating upsert invalidates rowid
+      cursors).
+
+    Views mirror their :class:`~repro.core.pipeline.AnalysisPipeline` /
+    :class:`~repro.analysis.similarity.SimilaritySearch` counterparts and
+    return byte-identical rows and rankings (see the module docstring for
+    the argument, ``tests/analysis/test_live.py`` for the pinning).
+    """
+
+    user_names: dict[int, str] = field(default_factory=dict)
+    rules: tuple = LABEL_RULES
+    hasher: FuzzyHasher = field(default_factory=FuzzyHasher)
+    use_index: bool = True
+    index_threshold: int = DEFAULT_INDEX_THRESHOLD
+    cursor: int = 0            #: store rowid high-water mark (when bound)
+    syncs: int = 0             #: delta pulls performed
+    _source: DeltaSource | None = field(init=False, default=None, repr=False)
+    _keys: set[ProcessKey] = field(init=False, default_factory=set, repr=False)
+    _open: list[ProcessRecord] = field(init=False, default_factory=list, repr=False)
+    _users: dict[str, _UserStat] = field(init=False, default_factory=dict, repr=False)
+    _system: dict[str, _GroupStat] = field(init=False, default_factory=dict, repr=False)
+    _python: dict[str, _GroupStat] = field(init=False, default_factory=dict, repr=False)
+    _instance_first: dict[tuple[str, ...], ProcessKey] = field(
+        init=False, default_factory=dict, repr=False)
+    _search: SimilaritySearch = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._search = SimilaritySearch(
+            [], rules=self.rules, hasher=self.hasher,
+            use_index=self.use_index, index_threshold=self.index_threshold)
+
+    # ------------------------------------------------------------------ #
+    # feeding
+    # ------------------------------------------------------------------ #
+    def bind(self, source: DeltaSource) -> "LiveAnalysis":
+        """Attach a delta source; every view method pulls from it first."""
+        self._source = source
+        return self
+
+    def sync(self) -> int:
+        """Pull the next delta from the bound source; returns records committed.
+
+        A no-op (returning 0) when no source is bound.
+        """
+        if self._source is None:
+            return 0
+        delta = self._source.snapshot_delta(self.cursor)
+        committed = self.commit(delta.new_records)
+        # Only a fully committed delta advances the cursor: if commit raised,
+        # the same records are re-pulled next time instead of being lost.
+        self.cursor = delta.cursor
+        self.refresh_open(delta.open_records)
+        self.syncs += 1
+        return committed
+
+    def commit(self, new_records) -> int:
+        """Fold newly *finalized* records into the committed accumulators.
+
+        Append-only: finalized records are immutable (the streaming insert
+        is first-close-wins), so each is folded exactly once; re-committing
+        a process key raises :class:`AnalysisError` rather than silently
+        double-counting.  Returns how many records were committed.
+        """
+        fresh = list(new_records)
+        # Validate the whole batch before touching any state, so a rejected
+        # commit leaves the analysis exactly as it was (no half-folded batch
+        # where the tables count a record the similarity pool lacks).
+        batch_keys = []
+        seen: set[ProcessKey] = set()
+        for record in fresh:
+            key = _process_key(record)
+            if key in self._keys or key in seen:
+                raise AnalysisError(
+                    f"process key {key!r} committed twice -- the delta stream"
+                    " must deliver each finalized record exactly once")
+            seen.add(key)
+            batch_keys.append(key)
+        for record, key in zip(fresh, batch_keys):
+            self._keys.add(key)
+            self._commit_tables(record, key)
+            instance = instance_from_record(record, self.rules)
+            if instance is not None:
+                first = self._instance_first.get(instance.key)
+                if first is None or key < first:
+                    self._instance_first[instance.key] = key
+        self._search.add_records(fresh)
+        return len(fresh)
+
+    def refresh_open(self, open_records) -> None:
+        """Replace the transient open-group overlay with the current peek.
+
+        Open groups are provisional -- they accumulate messages until they
+        close -- so they are overlaid on the committed state per view, never
+        folded in.  Keys already committed (a closed group resurrected by a
+        very late message) are dropped, matching ``ShardedIngest.snapshot``.
+        """
+        self._open = [record for record in open_records
+                      if _process_key(record) not in self._keys]
+
+    def observe(self, records, open_records=()) -> int:
+        """Feed a full snapshot record list, diffing by process key.
+
+        The adapter for sources without a rowid cursor (batch-mode
+        consolidation rewrites rows, so only keys are stable): records with
+        unseen keys are committed, the rest must all be present -- a
+        previously committed key missing from ``records`` means the stream
+        was not append-only and raises :class:`AnalysisError`.  Records of
+        already-seen keys are assumed unchanged, which holds at job-boundary
+        snapshots (every burst is fully delivered before the hook fires).
+        Returns how many records were committed.
+        """
+        fresh = [record for record in records
+                 if _process_key(record) not in self._keys]
+        if len(records) - len(fresh) != len(self._keys):
+            raise AnalysisError(
+                "observe() requires an append-only record stream: a previously"
+                " committed record is missing from this snapshot")
+        committed = self.commit(fresh)
+        self.refresh_open(open_records)
+        return committed
+
+    def _commit_tables(self, record: ProcessRecord, key: ProcessKey) -> None:
+        user = _user_label(record, self.user_names)
+        stat = self._users.get(user)
+        if stat is None:
+            stat = self._users[user] = _UserStat(first_key=key)
+        stat.absorb(record, key)
+        if record.category == ExecutableCategory.SYSTEM.value:
+            _absorb_grouped(self._system, record.executable, key, user,
+                            record.jobid, record.objects_h)
+        elif record.category == ExecutableCategory.PYTHON.value:
+            _absorb_grouped(self._python, record.executable_name, key, user,
+                            record.jobid, record.script_h)
+
+    def _pull(self) -> None:
+        if self._source is not None:
+            self.sync()
+
+    # ------------------------------------------------------------------ #
+    # tables
+    # ------------------------------------------------------------------ #
+    def table2_user_activity(self) -> list[UserActivityRow]:
+        """Table 2, live: identical to ``user_activity_table`` over all records."""
+        self._pull()
+        extra: dict[str, _UserStat] = {}
+        for record in self._open:
+            user = _user_label(record, self.user_names)
+            stat = extra.get(user)
+            if stat is None:
+                stat = extra[user] = _UserStat(first_key=_process_key(record))
+            stat.absorb(record, _process_key(record))
+        rows = []
+        for user in self._merged_order(self._users, extra):
+            committed = self._users.get(user)
+            overlay = extra.get(user)
+            count = self._merged_counter(committed, overlay)
+            rows.append(UserActivityRow(
+                user=user,
+                job_count=self._merged_unique(
+                    committed.jobs if committed else None,
+                    overlay.jobs if overlay else ()),
+                system_processes=count(ExecutableCategory.SYSTEM.value),
+                user_processes=count(ExecutableCategory.USER.value),
+                python_processes=count(ExecutableCategory.PYTHON.value),
+            ))
+        rows.sort(key=lambda row: (row.job_count, row.system_processes,
+                                   row.user_processes, row.python_processes),
+                  reverse=True)
+        return rows
+
+    def table2_totals(self) -> UserActivityRow:
+        """The Total row of Table 2."""
+        return activity_totals(self.table2_user_activity())
+
+    def table3_system_executables(self, top: int | None = 10) -> list[SystemExecutableRow]:
+        """Table 3, live: identical to ``system_executable_table`` over all records."""
+        self._pull()
+        extra = self._overlay_grouped(ExecutableCategory.SYSTEM.value,
+                                      lambda r: r.executable, lambda r: r.objects_h)
+        rows = []
+        for path in self._merged_order(self._system, extra):
+            committed = self._system.get(path)
+            overlay = extra.get(path)
+            rows.append(SystemExecutableRow(
+                executable=path,
+                unique_users=self._merged_unique(
+                    committed.users if committed else None,
+                    overlay.users if overlay else ()),
+                job_count=self._merged_unique(
+                    committed.jobs if committed else None,
+                    overlay.jobs if overlay else ()),
+                process_count=(committed.processes if committed else 0)
+                              + (overlay.processes if overlay else 0),
+                unique_objects_h=self._merged_unique(
+                    committed.hashes if committed else None,
+                    overlay.hashes if overlay else ()),
+            ))
+        rows.sort(key=lambda row: (row.unique_users, row.job_count, row.process_count,
+                                   row.unique_objects_h), reverse=True)
+        return rows[:top] if top is not None else rows
+
+    def table8_python_interpreters(self) -> list[PythonInterpreterRow]:
+        """Table 8, live: identical to ``python_interpreter_table`` over all records."""
+        self._pull()
+        extra = self._overlay_grouped(ExecutableCategory.PYTHON.value,
+                                      lambda r: r.executable_name, lambda r: r.script_h)
+        rows = []
+        for name in self._merged_order(self._python, extra):
+            committed = self._python.get(name)
+            overlay = extra.get(name)
+            rows.append(PythonInterpreterRow(
+                interpreter=name,
+                unique_users=self._merged_unique(
+                    committed.users if committed else None,
+                    overlay.users if overlay else ()),
+                job_count=self._merged_unique(
+                    committed.jobs if committed else None,
+                    overlay.jobs if overlay else ()),
+                process_count=(committed.processes if committed else 0)
+                              + (overlay.processes if overlay else 0),
+                unique_script_h=self._merged_unique(
+                    committed.hashes if committed else None,
+                    overlay.hashes if overlay else ()),
+            ))
+        rows.sort(key=lambda row: (row.unique_users, row.job_count, row.process_count,
+                                   row.unique_script_h), reverse=True)
+        return rows
+
+    def _overlay_grouped(self, category: str, group_of, hash_of) -> dict[str, _GroupStat]:
+        extra: dict[str, _GroupStat] = {}
+        for record in self._open:
+            if record.category != category:
+                continue
+            _absorb_grouped(extra, group_of(record), _process_key(record),
+                            _user_label(record, self.user_names),
+                            record.jobid, hash_of(record))
+        return extra
+
+    @staticmethod
+    def _merged_order(committed: dict, extra: dict) -> list[str]:
+        """Group names ordered by first occurrence in the canonical record list.
+
+        A rebuild inserts each group into its dict at the group's first
+        record in process-key order, i.e. at the group's *minimum* key over
+        committed and overlay records alike -- so sorting by that minimum
+        reproduces the rebuild's pre-sort row order (and therefore its tie
+        order) exactly.
+        """
+        firsts: dict[str, tuple] = {group: stat.first_key
+                                    for group, stat in committed.items()}
+        for group, stat in extra.items():
+            if group not in firsts or stat.first_key < firsts[group]:
+                firsts[group] = stat.first_key
+        return sorted(firsts, key=firsts.get)
+
+    @staticmethod
+    def _merged_counter(committed: "_UserStat | None", overlay: "_UserStat | None"):
+        def count(category: str) -> int:
+            total = committed.counts.get(category, 0) if committed else 0
+            if overlay:
+                total += overlay.counts.get(category, 0)
+            return total
+        return count
+
+    @staticmethod
+    def _merged_unique(committed: set | None, overlay) -> int:
+        extra = sum(1 for item in overlay if committed is None or item not in committed)
+        return (len(committed) if committed else 0) + extra
+
+    # ------------------------------------------------------------------ #
+    # similarity
+    # ------------------------------------------------------------------ #
+    @property
+    def instances(self) -> list[ExecutableInstance]:
+        """The current instance list, identical to a fresh ``SimilaritySearch``'s."""
+        self._pull()
+        return self._pool()
+
+    def unknown_instances(self) -> list[ExecutableInstance]:
+        """Instances whose derived label is UNKNOWN (the search baselines)."""
+        return [instance for instance in self.instances
+                if instance.label == UNKNOWN_LABEL]
+
+    def labelled_instances(self) -> list[ExecutableInstance]:
+        """Instances with a known derived label (the search candidates)."""
+        return [instance for instance in self.instances
+                if instance.label != UNKNOWN_LABEL]
+
+    def query(self, baseline: ExecutableInstance, *, top: int | None = None,
+              columns: tuple[str, ...] = HASH_COLUMNS) -> list[SimilarityResult]:
+        """Rank labelled instances by similarity to ``baseline`` (Table 7 query)."""
+        self._pull()
+        pool = [instance for instance in self._pool()
+                if instance.label != UNKNOWN_LABEL]
+        return self._search.query(baseline, candidates=pool, top=top, columns=columns)
+
+    def identify_unknown(self, *, top: int = 10) -> dict[str, list[SimilarityResult]]:
+        """The Table 7 search for every UNKNOWN instance, live."""
+        self._pull()
+        pool = self._pool()
+        unknowns = [instance for instance in pool if instance.label == UNKNOWN_LABEL]
+        if not unknowns:
+            raise AnalysisError("no UNKNOWN instances to identify")
+        labelled = [instance for instance in pool if instance.label != UNKNOWN_LABEL]
+        return {unknown.executable: self._search.query(unknown, candidates=labelled,
+                                                       top=top)
+                for unknown in unknowns}
+
+    def _pool(self) -> list[ExecutableInstance]:
+        """Committed + overlay instances, in the rebuild's instance order.
+
+        Committed instances come straight from the incrementally grown
+        search; overlay records merge into them (bumping ``process_count``)
+        or append as transient instances the query compares directly -- the
+        index is never polluted with provisional digests.
+        """
+        overlay: dict[tuple[str, ...], tuple[ExecutableInstance, ProcessKey]] = {}
+        for record in self._open:
+            instance = instance_from_record(record, self.rules)
+            if instance is None:
+                continue
+            key = _process_key(record)
+            existing = overlay.get(instance.key)
+            if existing is None:
+                overlay[instance.key] = (instance, key)
+            else:
+                merged = ExecutableInstance(
+                    executable=existing[0].executable, label=existing[0].label,
+                    hashes=existing[0].hashes,
+                    process_count=existing[0].process_count + 1)
+                overlay[instance.key] = (merged, min(existing[1], key))
+        entries: list[tuple[ProcessKey, ExecutableInstance]] = []
+        for instance in self._search.instances:
+            first = self._instance_first[instance.key]
+            overlaid = overlay.pop(instance.key, None)
+            if overlaid is not None:
+                instance = ExecutableInstance(
+                    executable=instance.executable, label=instance.label,
+                    hashes=instance.hashes,
+                    process_count=instance.process_count + overlaid[0].process_count)
+                first = min(first, overlaid[1])
+            entries.append((first, instance))
+        for instance, first in overlay.values():
+            entries.append((first, instance))
+        entries.sort(key=lambda entry: entry[0])
+        return [instance for _, instance in entries]
+
+    # ------------------------------------------------------------------ #
+    # instrumentation
+    # ------------------------------------------------------------------ #
+    @property
+    def comparisons(self) -> int:
+        """Digest alignments performed across the analysis's lifetime."""
+        return self._search.comparisons
+
+    def index_stats(self):
+        """Counters of the incrementally grown index (``None`` below threshold)."""
+        return self._search.index_stats()
+
+    def statistics(self) -> dict[str, int]:
+        """Operational counters of the live analysis."""
+        return {
+            "records_committed": len(self._keys),
+            "open_records": len(self._open),
+            "instances": len(self._search.instances),
+            "syncs": self.syncs,
+            "cursor": self.cursor,
+            "comparisons": self._search.comparisons,
+        }

@@ -42,6 +42,27 @@ _FIELD_OF_COLUMN: dict[str, str] = {
 }
 
 
+def instance_from_record(record: ProcessRecord,
+                         rules: tuple = LABEL_RULES) -> "ExecutableInstance | None":
+    """The instance a record contributes to, or ``None`` if it contributes none.
+
+    Only user-directory records with a file hash form instances (the Table 7
+    population); the returned instance carries ``process_count=1`` -- callers
+    merge counts when several records share one key.
+    """
+    if record.category != ExecutableCategory.USER.value:
+        return None
+    if not record.file_h:
+        return None
+    hashes = {column: getattr(record, _FIELD_OF_COLUMN[column]) or ""
+              for column in HASH_COLUMNS}
+    return ExecutableInstance(
+        executable=record.executable,
+        label=derive_label(record.executable, rules),
+        hashes=hashes,
+    )
+
+
 @dataclass(frozen=True)
 class ExecutableInstance:
     """One distinct (executable content, environment) combination."""
@@ -103,38 +124,53 @@ class SimilaritySearch:
     _index: SimilarityIndex | None = field(init=False, default=None, repr=False)
     _instance_ids: dict[tuple[str, ...], int] = field(init=False, default_factory=dict,
                                                       repr=False)
+    _positions: dict[tuple[str, ...], int] = field(init=False, default_factory=dict,
+                                                   repr=False)
 
     def __post_init__(self) -> None:
-        self.instances = self._build_instances()
+        self.instances = []
+        for record in self.records:
+            self._absorb(record)
 
     # ------------------------------------------------------------------ #
     # index construction
     # ------------------------------------------------------------------ #
-    def _build_instances(self) -> list[ExecutableInstance]:
-        grouped: dict[tuple[str, ...], ExecutableInstance] = {}
-        for record in self.records:
-            if record.category != ExecutableCategory.USER.value:
-                continue
-            if not record.file_h:
-                continue
-            hashes = {column: getattr(record, _FIELD_OF_COLUMN[column]) or ""
-                      for column in HASH_COLUMNS}
-            instance = ExecutableInstance(
-                executable=record.executable,
-                label=derive_label(record.executable, self.rules),
-                hashes=hashes,
+    def _absorb(self, record: ProcessRecord) -> None:
+        """Fold one record into the instance list (append or merge by key)."""
+        instance = instance_from_record(record, self.rules)
+        if instance is None:
+            return
+        position = self._positions.get(instance.key)
+        if position is None:
+            self._positions[instance.key] = len(self.instances)
+            self.instances.append(instance)
+        else:
+            existing = self.instances[position]
+            self.instances[position] = ExecutableInstance(
+                executable=existing.executable,
+                label=existing.label,
+                hashes=existing.hashes,
+                process_count=existing.process_count + 1,
             )
-            existing = grouped.get(instance.key)
-            if existing is None:
-                grouped[instance.key] = instance
-            else:
-                grouped[instance.key] = ExecutableInstance(
-                    executable=existing.executable,
-                    label=existing.label,
-                    hashes=existing.hashes,
-                    process_count=existing.process_count + 1,
-                )
-        return list(grouped.values())
+
+    def add_records(self, new_records: list[ProcessRecord]) -> int:
+        """Append new records, updating instances and the index in place.
+
+        The incremental-growth path: records are folded into the existing
+        instance list (new keys append, repeated keys bump their instance's
+        ``process_count``), and a previously built n-gram index is *extended*
+        -- not rebuilt -- the next time it is consulted.  A search grown this
+        way is indistinguishable from a fresh one over the concatenated
+        record list (pinned by the live-analysis property tests); before this
+        path existed, mutating ``records`` after the first indexed query left
+        the cached index silently stale.  Returns how many instances the new
+        records created.
+        """
+        before = len(self.instances)
+        for record in new_records:
+            self.records.append(record)
+            self._absorb(record)
+        return len(self.instances) - before
 
     def unknown_instances(self) -> list[ExecutableInstance]:
         """Instances whose derived label is UNKNOWN (the search baselines)."""
@@ -167,6 +203,14 @@ class SimilaritySearch:
                 [instance.hashes for instance in self.instances], columns=HASH_COLUMNS)
             self._instance_ids = {instance.key: position
                                   for position, instance in enumerate(self.instances)}
+        elif len(self._index) < len(self.instances):
+            # Records added since the index was built: extend it in place.
+            # Ids are instance-list positions on both paths, and the posting
+            # lists only accrete, so the grown index equals a fresh build.
+            for position in range(len(self._index), len(self.instances)):
+                instance = self.instances[position]
+                self._index.add(instance.hashes)
+                self._instance_ids[instance.key] = position
         return self._index
 
     @property
@@ -273,24 +317,25 @@ class SimilaritySearch:
         """Full pairwise similarity matrix over instances for one hash column.
 
         Indexed, only the pairs sharing an n-gram are aligned; the rest of the
-        ``O(N**2)`` matrix is filled with the 0 they would have scored.  (The
-        ``"3::"`` placeholder for missing digests has empty signatures, so it
-        scores 0 against everything on both paths.)
+        ``O(N**2)`` matrix is filled with the 0 they would have scored.
+        Missing digests go through the same :meth:`_compare_digests` helper
+        every other path uses, so they score their 0 without a counted
+        comparison and without planting placeholder pairs in the compare LRU
+        -- the counter and cache semantics match :meth:`query` exactly.
         """
         size = len(self.instances)
         matrix = [[0] * size for _ in range(size)]
         index = self._effective_index()
         if index is not None and column not in index.columns:
             index = None  # unindexed column: compare directly, as brute force does
-        digests = [instance.hashes.get(column, "") or "3::" for instance in self.instances]
+        digests = [instance.hashes.get(column, "") for instance in self.instances]
         for i in range(size):
             matrix[i][i] = 100
             candidates = index.candidates(digests[i], column) if index is not None else None
             for j in range(i + 1, size):
                 if candidates is not None and j not in candidates:
                     continue
-                self.comparisons += 1
-                score = self.hasher.compare_cached(digests[i], digests[j])
+                score = self._compare_digests(digests[i], digests[j])
                 matrix[i][j] = score
                 matrix[j][i] = score
         return matrix

@@ -186,12 +186,27 @@ class SimilarityIndex:
 
     def __post_init__(self) -> None:
         self._indexes = {column: DigestIndex(ngram=self.ngram) for column in self.columns}
-        for digest_id, hashes in enumerate(self.hash_rows):
-            for column in self.columns:
-                self._indexes[column].add(digest_id, hashes.get(column, ""))
+        rows, self.hash_rows = self.hash_rows, []
+        for hashes in rows:
+            self.add(hashes)
 
     def __len__(self) -> int:
         return len(self.hash_rows)
+
+    def add(self, hashes: dict[str, str]) -> int:
+        """Append one instance's hash dict to the index; returns its new id.
+
+        Ids keep being list positions, so an index grown one instance at a
+        time is indistinguishable from one built over the full list -- the
+        incremental path the live analysis layer uses instead of rebuilding
+        (each :class:`DigestIndex` only ever accretes posting-list entries,
+        so adding never invalidates earlier candidate sets).
+        """
+        digest_id = len(self.hash_rows)
+        self.hash_rows.append(hashes)
+        for column in self.columns:
+            self._indexes[column].add(digest_id, hashes.get(column, ""))
+        return digest_id
 
     def candidates(self, digest: FuzzyHash | str, column: str) -> set[int]:
         """Instance ids that could score non-zero on ``column`` against ``digest``."""

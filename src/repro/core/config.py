@@ -41,6 +41,24 @@ class SirenConfig:
     ingest_shards:
         Number of receiver+consolidator workers in streaming mode (each
         process key lands deterministically on one shard).
+    keep_raw_messages:
+        Whether raw messages survive in the ``messages`` table.  In
+        streaming mode it decides whether messages are *also* persisted
+        alongside live consolidation; in batch mode (where the post-pass
+        needs them) ``False`` clears the table when
+        :meth:`~repro.core.framework.SirenFramework.finalize` consolidates.
+        Mirrors :attr:`~repro.workload.campaign.CampaignConfig.keep_raw_messages`,
+        so framework and campaign deployments persist raw traffic
+        identically.
+    transport:
+        ``"memory"`` (default) delivers datagrams through the in-memory
+        channel -- lossy when ``loss_rate > 0``; ``"socket"`` sends genuine
+        UDP datagrams over the loopback interface (``loss_rate`` is ignored
+        -- losses, if any, come from the kernel).  Socket deployments are
+        drained on every ``consolidate``/``snapshot``/``finalize`` and the
+        sockets are released by
+        :meth:`~repro.core.framework.SirenFramework.close`.  Mirrors
+        :attr:`~repro.workload.campaign.CampaignConfig.transport`.
     """
 
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
@@ -53,3 +71,5 @@ class SirenConfig:
     hash_concurrency: int = 1
     ingest_mode: str = "batch"
     ingest_shards: int = 1
+    keep_raw_messages: bool = True
+    transport: str = "memory"

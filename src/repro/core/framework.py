@@ -13,23 +13,30 @@ Two ingest modes (``SirenConfig.ingest_mode``):
   :meth:`consolidate` runs the batch post-pass;
 * ``"streaming"`` -- messages are consolidated as they arrive by
   :class:`~repro.ingest.sharded.ShardedIngest` (``ingest_shards`` workers),
-  and :meth:`snapshot` / :meth:`consolidate` return the live record set
-  without waiting for the deployment to end.
+  :meth:`snapshot` / :meth:`consolidate` return the live record set
+  without waiting for the deployment to end, and :meth:`live_analysis`
+  serves incrementally maintained analysis views over the record delta
+  stream (:meth:`snapshot_delta`).
+
+Raw-message persistence (``keep_raw_messages``) and the datagram transport
+(``transport="memory"|"socket"``) follow the same semantics as
+:class:`~repro.workload.campaign.CampaignConfig`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.live import LiveAnalysis
 from repro.analysis.similarity import SimilarityResult
 from repro.collector.hooks import SirenCollector
 from repro.core.config import SirenConfig
 from repro.core.pipeline import AnalysisPipeline
 from repro.db.store import MessageStore, ProcessRecord
 from repro.hpcsim.cluster import Cluster
-from repro.ingest.sharded import ShardedIngest
+from repro.ingest.sharded import ProcessDelta, ShardedIngest
 from repro.postprocess.consolidate import Consolidator
-from repro.transport.channel import InMemoryChannel, LossyChannel
+from repro.transport.channel import InMemoryChannel, LossyChannel, SocketChannel
 from repro.transport.receiver import MessageReceiver
 from repro.transport.sender import UDPSender
 from repro.util.errors import CollectionError
@@ -42,7 +49,7 @@ class SirenFramework:
 
     config: SirenConfig = field(default_factory=SirenConfig)
     store: MessageStore = field(init=False)
-    channel: LossyChannel | InMemoryChannel = field(init=False)
+    channel: LossyChannel | InMemoryChannel | SocketChannel = field(init=False)
     receiver: MessageReceiver | None = field(init=False, default=None)
     ingest: ShardedIngest | None = field(init=False, default=None)
     sender: UDPSender = field(init=False)
@@ -54,14 +61,21 @@ class SirenFramework:
             raise CollectionError(
                 f"unknown ingest_mode {self.config.ingest_mode!r} "
                 "(expected 'batch' or 'streaming')")
+        if self.config.transport not in ("memory", "socket"):
+            raise CollectionError(
+                f"unknown transport {self.config.transport!r} "
+                "(expected 'memory' or 'socket')")
         self.store = MessageStore(self.config.store_path)
-        if self.config.loss_rate > 0:
+        if self.config.transport == "socket":
+            self.channel = SocketChannel()
+        elif self.config.loss_rate > 0:
             self.channel = LossyChannel(loss_rate=self.config.loss_rate,
                                         rng=SeededRNG(self.config.rng_seed))
         else:
             self.channel = InMemoryChannel()
         if self.config.ingest_mode == "streaming":
-            self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards)
+            self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
+                                        persist_raw=self.config.keep_raw_messages)
             self.ingest.attach(self.channel)
         else:
             self.receiver = MessageReceiver(self.store)
@@ -94,18 +108,28 @@ class SirenFramework:
         return self.collector
 
     def close(self) -> None:
-        """Release deployment resources (the collector's hash worker pool).
+        """Release deployment resources.
 
-        Call when a long-lived host is done with this deployment, especially
-        with ``hash_concurrency > 1``; collection and analysis keep working
-        afterwards (a later concurrent batch simply respawns the pool).
+        Closes the collector's hash worker pool (a later concurrent batch
+        simply respawns it) and, with ``transport="socket"``, drains and
+        closes the loopback sockets -- call it when the deployment's traffic
+        has ended.  Memory-channel collection and analysis keep working
+        afterwards.
         """
         if self.collector is not None:
             self.collector.close()
+        if isinstance(self.channel, SocketChannel):
+            self.channel.drain()
+            self.channel.close()
 
     # ------------------------------------------------------------------ #
     # data access
     # ------------------------------------------------------------------ #
+    def _drain_socket(self) -> None:
+        """Pull queued loopback datagrams into the ingest path (socket transport)."""
+        if isinstance(self.channel, SocketChannel):
+            self.channel.drain()
+
     def consolidate(self, *, clear_messages: bool = False) -> list[ProcessRecord]:
         """Flush the ingest path and consolidate everything collected so far.
 
@@ -114,6 +138,7 @@ class SirenFramework:
         (finalized records plus a non-destructive peek at still-open process
         groups) -- record-for-record the same result.
         """
+        self._drain_socket()
         if self.ingest is not None:
             records = self.ingest.snapshot()
             if clear_messages:
@@ -139,12 +164,50 @@ class SirenFramework:
         processes whose ``PROCEND`` datagram was lost) and flushes them to
         the ``processes`` table, so an on-disk store holds the complete
         record set batch mode would have produced; call it when the
-        deployment's traffic has ended.  In batch mode it is simply
-        :meth:`consolidate`.
+        deployment's traffic has ended.  In batch mode it runs the final
+        consolidation pass.  Either way, ``keep_raw_messages=False`` clears
+        the raw messages table now that nothing will re-read it (mid-run
+        :meth:`consolidate`/:meth:`snapshot` calls never clear, whatever
+        the knob says -- a batch post-pass may still need the messages).
         """
         if self.ingest is not None:
-            return self.ingest.finalize()
-        return self.consolidate()
+            self._drain_socket()
+            records = self.ingest.finalize()
+            if not self.config.keep_raw_messages:
+                self.store.clear_messages()  # raw persistence was off; stays empty
+            return records
+        return self.consolidate(clear_messages=not self.config.keep_raw_messages)
+
+    def snapshot_delta(self, cursor: int = 0) -> ProcessDelta:
+        """Incremental live view: only the records that changed since ``cursor``.
+
+        Streaming mode only -- the delta contract rests on finalized records
+        being immutable, which batch re-consolidation does not provide.  The
+        feed behind :meth:`live_analysis`.
+        """
+        if self.ingest is None:
+            raise CollectionError(
+                "snapshot_delta requires ingest_mode='streaming' (batch "
+                "re-consolidation rewrites records, so there is no delta stream)")
+        self._drain_socket()
+        return self.ingest.snapshot_delta(cursor)
+
+    def live_analysis(self, user_names: dict[int, str] | None = None,
+                      ) -> LiveAnalysis:
+        """An incrementally updated analysis bound to this deployment's stream.
+
+        Streaming mode only.  The returned
+        :class:`~repro.analysis.live.LiveAnalysis` pulls record deltas from
+        this framework on every view call, so mid-deployment tables and
+        similarity queries cost O(new records) rather than O(campaign) --
+        and stay byte-identical to :meth:`analysis_pipeline` over
+        :meth:`snapshot` records.
+        """
+        if self.ingest is None:
+            raise CollectionError(
+                "live_analysis requires ingest_mode='streaming'; batch mode "
+                "can feed LiveAnalysis.observe() with consolidate() output instead")
+        return LiveAnalysis(user_names=user_names or {}).bind(self)
 
     def analysis_pipeline(self, user_names: dict[int, str] | None = None,
                           ) -> AnalysisPipeline:

@@ -230,6 +230,30 @@ class MessageStore:
         """All consolidated process records as a list."""
         return list(self.iter_processes())
 
+    def load_processes_since(self, rowid: int = 0) -> tuple[list[ProcessRecord], int]:
+        """Records inserted after ``rowid``, plus the new high-water mark.
+
+        The monotonic record cursor of the live analysis layer: ``rowid`` is
+        the ``processes`` rowid high-water mark returned by the previous call
+        (0 for "from the beginning"), and the returned mark covers every
+        record in this batch.  The contract -- each record is returned by
+        exactly one call -- holds for rows written through the streaming
+        first-close-wins insert (:meth:`insert_processes_if_absent`), which
+        never rewrites an existing row; ``INSERT OR REPLACE``
+        re-consolidation assigns *new* rowids to existing process keys, so
+        batch-mode callers must diff by process key instead (see
+        :meth:`repro.analysis.live.LiveAnalysis.observe`).
+        """
+        columns = ", ".join(_PROCESS_FIELDS)
+        cursor = self.connection.execute(
+            f"SELECT id, {columns} FROM processes WHERE id > ? ORDER BY id", (rowid,))
+        records: list[ProcessRecord] = []
+        high_water = rowid
+        for row in cursor:
+            high_water = row[0]
+            records.append(ProcessRecord(**dict(zip(_PROCESS_FIELDS, row[1:]))))
+        return records, high_water
+
     def close(self) -> None:
         """Close the underlying connection."""
         self.connection.close()

@@ -14,7 +14,10 @@ turns ingest into a live system:
 * :mod:`repro.ingest.sharded` --
   :class:`~repro.ingest.sharded.ShardedIngest` partitions the datagram
   stream across N receiver+consolidator shards by a stable FNV hash of the
-  process key and merges their counters.
+  process key and merges their counters; its
+  :meth:`~repro.ingest.sharded.ShardedIngest.snapshot_delta` serves the
+  exactly-once record delta stream (:class:`~repro.ingest.sharded.ProcessDelta`)
+  behind the live analysis layer (:mod:`repro.analysis.live`).
 
 Both are pinned record-for-record equivalent to the batch consolidator (see
 ``tests/ingest/``); ``ingest_mode="streaming"`` on
@@ -23,10 +26,11 @@ Both are pinned record-for-record equivalent to the batch consolidator (see
 """
 
 from repro.ingest.incremental import IncrementalConsolidator
-from repro.ingest.sharded import ShardedIngest, shard_of
+from repro.ingest.sharded import ProcessDelta, ShardedIngest, shard_of
 
 __all__ = [
     "IncrementalConsolidator",
+    "ProcessDelta",
     "ShardedIngest",
     "shard_of",
 ]

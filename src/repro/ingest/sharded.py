@@ -35,6 +35,27 @@ def _in_key_order(records: list[ProcessRecord]) -> list[ProcessRecord]:
     return sorted(records, key=lambda r: (r.jobid, r.stepid, r.pid, r.hash, r.host, r.time))
 
 
+@dataclass(frozen=True)
+class ProcessDelta:
+    """One pull of the live record stream: what changed since the last cursor.
+
+    ``new_records`` are the records finalized since the previous cursor, in
+    store rowid (finalization) order -- each record appears in exactly one
+    delta, so consumers can fold them into accumulators without rescanning.
+    ``open_records`` is the *current* non-destructive peek at still-open
+    process groups; it is transient (re-peeked on every pull, superseded by
+    the next delta) and may include a key that is already finalized when a
+    very late message resurrected it -- consumers overlay it on top of their
+    committed state, dropping keys they have already seen, exactly as
+    :meth:`ShardedIngest.snapshot` does.  ``cursor`` is the new high-water
+    mark to pass to the next :meth:`ShardedIngest.snapshot_delta` call.
+    """
+
+    new_records: tuple[ProcessRecord, ...]
+    open_records: tuple[ProcessRecord, ...]
+    cursor: int
+
+
 def shard_of(message: UDPMessage, shards: int) -> int:
     """Deterministic shard index for a message's process key."""
     key = (f"{message.jobid}\x1f{message.stepid}\x1f{message.pid}\x1f"
@@ -120,6 +141,27 @@ class ShardedIngest:
                            if (r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
                            not in finalized)
         return _in_key_order(records)
+
+    def snapshot_delta(self, cursor: int = 0) -> ProcessDelta:
+        """Incremental live view: only what changed since ``cursor``.
+
+        Flushes every shard exactly like :meth:`snapshot`, but instead of
+        reading the whole ``processes`` table back, reads only rows past the
+        rowid high-water mark -- so the cost of a mid-campaign pull is
+        proportional to the records finalized since the last pull (plus the
+        handful of still-open groups), not to the campaign so far.  Records
+        finalized through the first-close-wins insert are immutable, which
+        is what makes the rowid cursor a correct delta stream (see
+        :meth:`MessageStore.load_processes_since`).
+        """
+        self.flush()
+        for consolidator in self.consolidators:
+            consolidator.flush()
+        new_records, cursor = self.store.load_processes_since(cursor)
+        open_records = [record for consolidator in self.consolidators
+                        for record in consolidator.peek_open()]
+        return ProcessDelta(new_records=tuple(new_records),
+                            open_records=tuple(open_records), cursor=cursor)
 
     def finalize(self) -> list[ProcessRecord]:
         """End of stream: flush, close every shard, return all records.

@@ -136,8 +136,20 @@ class SocketChannel:
         self.bytes_sent += len(datagram)
         return True
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the sockets."""
+        return self._receiver_socket.fileno() == -1
+
     def drain(self, max_datagrams: int = 100_000) -> int:
-        """Read queued datagrams from the socket and deliver them; returns the count."""
+        """Read queued datagrams from the socket and deliver them; returns the count.
+
+        A no-op once the channel is closed, so late observers (a snapshot or
+        live-analysis view after the deployment ended) read whatever was
+        drained before the close instead of crashing on a dead socket.
+        """
+        if self.closed:
+            return 0
         delivered = 0
         for _ in range(max_datagrams):
             try:
@@ -150,7 +162,7 @@ class SocketChannel:
         return delivered
 
     def close(self) -> None:
-        """Close both sockets."""
+        """Close both sockets (idempotent; anything still queued is dropped)."""
         self._receiver_socket.close()
         self._sender_socket.close()
 

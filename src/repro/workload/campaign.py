@@ -25,13 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.analysis.live import LiveAnalysis
 from repro.collector.hooks import SirenCollector
 from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
 from repro.corpus.builder import CorpusBuilder, CorpusManifest
 from repro.corpus.packages import PACKAGES_BY_NAME
 from repro.db.store import MessageStore, ProcessRecord
 from repro.hpcsim.cluster import Cluster
-from repro.ingest.sharded import ShardedIngest
+from repro.ingest.sharded import ProcessDelta, ShardedIngest
 from repro.postprocess.consolidate import Consolidator
 from repro.transport.channel import InMemoryChannel, LossyChannel, SocketChannel
 from repro.transport.receiver import MessageReceiver
@@ -243,6 +244,37 @@ class DeploymentCampaign:
         assert self.receiver is not None
         self.receiver.flush()
         return Consolidator(self.store).run()
+
+    def snapshot_delta(self, cursor: int = 0) -> ProcessDelta:
+        """Incremental live view: only the records that changed since ``cursor``.
+
+        Streaming mode only (batch re-consolidation rewrites records, so
+        there is no delta stream).  The feed behind :meth:`live_analysis`.
+        """
+        if self.ingest is None:
+            raise CollectionError(
+                "snapshot_delta requires ingest_mode='streaming'")
+        self._drain_socket()
+        return self.ingest.snapshot_delta(cursor)
+
+    def live_analysis(self) -> LiveAnalysis:
+        """An incrementally updated analysis bound to this campaign's stream.
+
+        Streaming mode only; prepares the campaign if needed so the user
+        mapping exists.  Bind it before :meth:`run` and call its view
+        methods from the :attr:`on_job` hook: each call pulls only the
+        records finalized since the last one, so mid-run Table 2/3/8 and
+        similarity views cost O(new records), byte-identical to a fresh
+        :class:`~repro.core.pipeline.AnalysisPipeline` over
+        :meth:`snapshot` records.
+        """
+        self.prepare()
+        if self.ingest is None:
+            raise CollectionError(
+                "live_analysis requires ingest_mode='streaming'; batch mode "
+                "can feed LiveAnalysis.observe() with snapshot() output instead")
+        user_names = {user.uid: user.username for user in self.cluster.users.all()}
+        return LiveAnalysis(user_names=user_names).bind(self)
 
     def _drain_socket(self) -> None:
         """Pull queued loopback datagrams into the ingest path (socket transport)."""

@@ -112,6 +112,36 @@ class TestQueries:
         assert all(matrix[i][i] == 100 for i in range(size))
         assert matrix[0][1] == matrix[1][0]
 
+    def test_pairwise_matrix_counter_and_cache_skip_missing_digests(self, records):
+        """Missing digests score their 0 for free, exactly as ``query`` does.
+
+        Regression test: the matrix used to substitute a ``"3::"``
+        placeholder, count a comparison for it, and plant the placeholder
+        pair in the shared compare LRU -- diverging from the
+        ``_compare_digests`` semantics every other path shares.
+        """
+        # Four instances, two of which never produced a MAPS_H-like digest:
+        # clear MO_H on two records so missing-digest pairs exist.
+        sparse = [
+            records[0],
+            records[1],
+            ProcessRecord(**{**records[2].__dict__, "modules_h": ""}),
+            ProcessRecord(**{**records[3].__dict__, "modules_h": ""}),
+        ]
+        search = SimilaritySearch(sparse, use_index=False)
+        assert search.comparisons == 0
+        matrix = search.pairwise_average_matrix("MO_H")
+        # Only the single pair with both digests present was compared ...
+        assert search.comparisons == 1
+        # ... it missed the (cold) cache exactly once, and no placeholder
+        # pair was ever planted in the LRU.
+        info = search.hasher.compare_cache_info()
+        assert info.misses == 1
+        assert info.currsize == 1
+        # and the scores are unchanged: missing pairs are 0, diagonal 100.
+        assert matrix[2][3] == matrix[0][2] == 0
+        assert all(matrix[i][i] == 100 for i in range(4))
+
     def test_result_row_format(self, records):
         search = SimilaritySearch(records)
         result = search.best_match(search.unknown_instances()[0])

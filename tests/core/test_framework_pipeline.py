@@ -125,16 +125,29 @@ class TestStreamingFramework:
         records = framework.consolidate()
         assert framework.store.process_count() == len(records) == 2
 
-    def test_streaming_mode_never_persists_raw_messages(self, app_cluster):
+    @pytest.mark.parametrize("keep_raw", [True, False])
+    def test_raw_message_persistence_parity_with_batch(self, app_cluster, keep_raw):
+        """Streaming and batch deployments honour ``keep_raw_messages``
+        identically: the same traffic leaves the same raw-message table.
+
+        Regression test: streaming mode used to construct its ingest front
+        without ``persist_raw``, silently never persisting raw messages no
+        matter what the configuration asked for.
+        """
         cluster, manifest = app_cluster
-        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
-        framework.deploy(cluster, siren_library_path=manifest.siren_library)
-        try:
-            self._run_job(cluster, manifest)
-        finally:
-            cluster.runtime.unregister_hook(manifest.siren_library)
-        framework.consolidate()
-        assert framework.store.message_count() == 0
+        message_counts = {}
+        for mode in ("batch", "streaming"):
+            framework = SirenFramework(SirenConfig(
+                loss_rate=0.0, ingest_mode=mode, keep_raw_messages=keep_raw))
+            framework.deploy(cluster, siren_library_path=manifest.siren_library)
+            try:
+                self._run_job(cluster, manifest)
+            finally:
+                cluster.runtime.unregister_hook(manifest.siren_library)
+            assert len(framework.finalize()) == 2
+            message_counts[mode] = framework.store.message_count()
+        assert message_counts["streaming"] == message_counts["batch"]
+        assert (message_counts["streaming"] > 0) is keep_raw
 
     def test_finalize_persists_groups_whose_procend_was_lost(self):
         from repro.collector.records import InfoType, Layer
@@ -156,6 +169,97 @@ class TestStreamingFramework:
     def test_invalid_ingest_mode_rejected(self):
         with pytest.raises(CollectionError):
             SirenFramework(SirenConfig(ingest_mode="sideways"))
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(CollectionError):
+            SirenFramework(SirenConfig(transport="carrier-pigeon"))
+
+    def test_socket_transport_end_to_end(self, app_cluster):
+        """Framework deployments over real loopback UDP match the memory channel.
+
+        Regression test: ``SirenConfig`` had no ``transport`` knob at all --
+        only campaigns could exercise the socket path.
+        """
+        cluster, manifest = app_cluster
+        results = {}
+        for transport in ("memory", "socket"):
+            framework = SirenFramework(SirenConfig(
+                loss_rate=0.0, ingest_mode="streaming", ingest_shards=2,
+                transport=transport, keep_raw_messages=False))
+            framework.deploy(cluster, siren_library_path=manifest.siren_library)
+            try:
+                self._run_job(cluster, manifest)
+            finally:
+                cluster.runtime.unregister_hook(manifest.siren_library)
+            try:
+                results[transport] = sorted(
+                    (r.executable, r.category, r.file_h, r.objects, r.incomplete)
+                    for r in framework.finalize())
+                stats = framework.statistics()
+                assert stats["decode_errors"] == 0
+            finally:
+                framework.close()  # drains and releases the loopback sockets
+            # close() is idempotent, and late observers (snapshot, live
+            # analysis views) keep working on the already-drained data
+            # instead of crashing on the dead socket.
+            framework.close()
+            assert len(framework.snapshot()) == 2
+        assert results["socket"] == results["memory"]
+        assert len(results["socket"]) == 2
+
+
+class TestFrameworkLiveAnalysis:
+    def test_live_analysis_requires_streaming(self):
+        framework = SirenFramework(SirenConfig(loss_rate=0.0))  # batch
+        with pytest.raises(CollectionError):
+            framework.live_analysis()
+        with pytest.raises(CollectionError):
+            framework.snapshot_delta()
+
+    def test_live_analysis_tracks_the_stream(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        live = framework.live_analysis()
+        try:
+            icon = manifest.find_executable("icon", "cray-r1", "alice")
+            script = JobScript(name="t", modules=("siren", *icon.required_modules),
+                               steps=(StepSpec(processes=(
+                                   ProcessSpec(executable=icon.path),
+                                   ProcessSpec(executable=manifest.tool("bash")),)),))
+            cluster.run_job("alice", script)
+            first = live.table2_totals()
+            assert first.total_processes == 2
+            cluster.run_job("alice", script)
+            second = live.table2_totals()
+            assert second.total_processes == 4
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        # Each view pulled only the delta, never the whole record set again.
+        assert live.statistics()["records_committed"] == 4
+
+    def test_snapshot_delta_is_disjoint_and_complete(self, app_cluster):
+        cluster, manifest = app_cluster
+        framework = SirenFramework(SirenConfig(loss_rate=0.0, ingest_mode="streaming"))
+        framework.deploy(cluster, siren_library_path=manifest.siren_library)
+        try:
+            icon = manifest.find_executable("icon", "cray-r1", "alice")
+            script = JobScript(name="t", modules=("siren", *icon.required_modules),
+                               steps=(StepSpec(processes=(
+                                   ProcessSpec(executable=icon.path),)),))
+            cluster.run_job("alice", script)
+            first = framework.snapshot_delta()
+            cluster.run_job("alice", script)
+            second = framework.snapshot_delta(first.cursor)
+        finally:
+            cluster.runtime.unregister_hook(manifest.siren_library)
+        keys = lambda records: {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                                for r in records}
+        assert len(first.new_records) == len(second.new_records) == 1
+        assert keys(first.new_records).isdisjoint(keys(second.new_records))
+        assert second.cursor > first.cursor
+        assert keys(first.new_records) | keys(second.new_records) == \
+            keys(framework.snapshot())
 
 
 class TestFrameworkAnalysisFacade:

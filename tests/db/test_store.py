@@ -95,6 +95,29 @@ class TestProcessRecords:
         assert loaded.executable_name == "icon"
         assert loaded.category == "user"
 
+    def test_load_processes_since_is_a_monotonic_cursor(self):
+        store = MessageStore()
+
+        def record(pid: int) -> ProcessRecord:
+            return ProcessRecord(jobid="1", stepid="0", pid=pid, hash="a" * 32,
+                                 host="n1", time=100, executable=f"/bin/x{pid}")
+
+        store.insert_processes_if_absent([record(1), record(2)])
+        first, cursor = store.load_processes_since(0)
+        assert [r.pid for r in first] == [1, 2]
+        # nothing new: same cursor back, no records
+        again, same_cursor = store.load_processes_since(cursor)
+        assert again == [] and same_cursor == cursor
+        store.insert_processes_if_absent([record(3)])
+        # a re-offered key is ignored by the first-close-wins insert, so it
+        # never reappears in the delta stream
+        store.insert_processes_if_absent([record(2)])
+        delta, new_cursor = store.load_processes_since(cursor)
+        assert [r.pid for r in delta] == [3]
+        assert new_cursor > cursor
+        # the cursor stream partitions exactly the full record set
+        assert {r.pid for r in first + delta} == {r.pid for r in store.load_processes()}
+
     def test_list_properties(self):
         record = self._record()
         assert record.object_list == ["/lib64/libc.so.6", "/lib64/libm.so.6"]

@@ -71,6 +71,28 @@ class TestShardedIngestFront:
         records = front.finalize()
         assert [record.pid for record in records] == [7, 23, 44, 190]
 
+    def test_snapshot_delta_streams_each_record_once(self):
+        front = ShardedIngest(MessageStore(), shards=2)
+        for pid in range(4):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        front.handle_datagram(_message(99).encode())  # stays open (no PROCEND)
+        first = front.snapshot_delta()
+        assert sorted(r.pid for r in first.new_records) == [0, 1, 2, 3]
+        assert [r.pid for r in first.open_records] == [99]
+        for pid in range(4, 6):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        second = front.snapshot_delta(first.cursor)
+        # only the newly finalized records; the open peek is re-served
+        assert sorted(r.pid for r in second.new_records) == [4, 5]
+        assert [r.pid for r in second.open_records] == [99]
+        assert second.cursor > first.cursor
+        # delta stream and full snapshot agree on the complete key set
+        snapshot_pids = {r.pid for r in front.snapshot()}
+        delta_pids = {r.pid for r in first.new_records + second.new_records}
+        assert delta_pids | {99} == snapshot_pids
+
 
 class TestShardedEqualsBatch:
     @pytest.mark.parametrize("shards", [1, 3])
