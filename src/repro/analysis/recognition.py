@@ -39,6 +39,9 @@ def similarity_graph(
     Nodes are instance keys (carrying the instance as a node attribute); an
     edge is added between two instances when the average similarity over
     ``columns`` is at least ``threshold``.  The edge weight is that average.
+    Each instance's scores against every later instance run as one batched
+    :meth:`~repro.analysis.similarity.SimilaritySearch.compare_instances_many`
+    sweep -- scores, counters and edges are identical to the scalar loop.
     """
     if not 0 <= threshold <= 100:
         raise ValueError("threshold must be between 0 and 100")
@@ -47,8 +50,8 @@ def similarity_graph(
     for instance in instances:
         graph.add_node(instance.key, instance=instance)
     for i, first in enumerate(instances):
-        for second in instances[i + 1:]:
-            scores = search.compare_instances(first, second)
+        rest = instances[i + 1:]
+        for second, scores in zip(rest, search.compare_instances_many(first, rest)):
             average = sum(scores[column] for column in columns) / len(columns)
             if average >= threshold:
                 graph.add_edge(first.key, second.key, weight=average)

@@ -230,6 +230,28 @@ class SimilaritySearch:
         self.comparisons += 1
         return self.hasher.compare_cached(hash_a, hash_b)
 
+    def _compare_digest_batch(self, baseline: str, digests: list[str]) -> list[int]:
+        """Counted batch of :meth:`_compare_digests` against one baseline.
+
+        The batched hot path: non-empty pairs go through
+        :meth:`~repro.hashing.ssdeep.FuzzyHasher.compare_many` in one sweep
+        (deduplicated, LRU-fed); empty digests score their 0 without a
+        counted comparison and without touching the cache, exactly as the
+        scalar helper does.  Counter semantics match pair-for-pair.
+        """
+        scores = [0] * len(digests)
+        if not baseline:
+            return scores
+        present = [position for position, digest in enumerate(digests) if digest]
+        if not present:
+            return scores
+        self.comparisons += len(present)
+        batch = self.hasher.compare_many(
+            baseline, [digests[position] for position in present])
+        for position, score in zip(present, batch):
+            scores[position] = score
+        return scores
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
@@ -239,6 +261,25 @@ class SimilaritySearch:
         return {column: self._compare_digests(first.hashes.get(column, ""),
                                               second.hashes.get(column, ""))
                 for column in HASH_COLUMNS}
+
+    def compare_instances_many(self, first: ExecutableInstance,
+                               others: list[ExecutableInstance],
+                               columns: tuple[str, ...] = HASH_COLUMNS,
+                               ) -> list[dict[str, int]]:
+        """Batched :meth:`compare_instances` of one instance against many.
+
+        One :meth:`_compare_digest_batch` sweep per column; scores, the
+        comparison counter and the compare LRU behave exactly as the scalar
+        loop would.  The recognition layer's similarity graph runs on this.
+        """
+        scores: list[dict[str, int]] = [{} for _ in others]
+        for column in columns:
+            batch = self._compare_digest_batch(
+                first.hashes.get(column, ""),
+                [other.hashes.get(column, "") for other in others])
+            for row, score in zip(scores, batch):
+                row[column] = score
+        return scores
 
     def query(
         self,
@@ -252,9 +293,11 @@ class SimilaritySearch:
 
         With the index active, a column comparison is only performed when the
         candidate shares an indexed n-gram with the baseline on that column;
-        all other scores are 0 by the index's pruning guarantee.  Results are
-        built in pool order and stable-sorted, exactly as the brute-force
-        path does, so rankings (including ties) are identical.
+        all other scores are 0 by the index's pruning guarantee.  Each
+        column's surviving pairs are scored in one
+        :meth:`~repro.hashing.ssdeep.FuzzyHasher.compare_many` sweep.
+        Results are built in pool order and stable-sorted, exactly as the
+        brute-force path does, so rankings (including ties) are identical.
         """
         pool = candidates if candidates is not None else self.labelled_instances()
         index = self._effective_index()
@@ -266,23 +309,37 @@ class SimilaritySearch:
             per_column = index.candidates_by_column(
                 baseline.hashes, tuple(column for column in columns
                                        if column in index.columns))
-        results: list[SimilarityResult] = []
+        kept: list[ExecutableInstance] = []
+        kept_ids: list[int | None] = []
         for candidate in pool:
             if candidate.key == baseline.key:
                 continue
             # Caller-supplied instances outside the built index (no id) are
             # compared directly; indexed ones only where a shared n-gram
             # makes a non-zero score possible.
-            candidate_id = self._instance_ids.get(candidate.key) if index is not None else None
-            selected = {}
-            for column in columns:
-                bucket = per_column.get(column)
+            kept.append(candidate)
+            kept_ids.append(self._instance_ids.get(candidate.key)
+                            if index is not None else None)
+        column_scores: dict[str, list[int]] = {}
+        for column in columns:
+            bucket = per_column.get(column)
+            scores = [0] * len(kept)
+            targets: list[int] = []
+            digests: list[str] = []
+            for position, (candidate, candidate_id) in enumerate(zip(kept, kept_ids)):
                 if candidate_id is not None and bucket is not None \
                         and candidate_id not in bucket:
-                    selected[column] = 0
-                    continue
-                selected[column] = self._compare_digests(
-                    baseline.hashes.get(column, ""), candidate.hashes.get(column, ""))
+                    continue  # pruned: 0 by the index's no-false-negative guarantee
+                targets.append(position)
+                digests.append(candidate.hashes.get(column, ""))
+            batch = self._compare_digest_batch(baseline.hashes.get(column, ""),
+                                               digests)
+            for position, score in zip(targets, batch):
+                scores[position] = score
+            column_scores[column] = scores
+        results: list[SimilarityResult] = []
+        for position, candidate in enumerate(kept):
+            selected = {column: column_scores[column][position] for column in columns}
             average = sum(selected.values()) / len(selected) if selected else 0.0
             results.append(SimilarityResult(
                 label=candidate.label, executable=candidate.executable,
@@ -295,13 +352,17 @@ class SimilaritySearch:
         """Run the Table 7 search for every UNKNOWN instance.
 
         Returns a mapping of the unknown instance's executable path to its
-        ranked candidate list.
+        ranked candidate list.  The candidate pool is materialised once and
+        shared across every baseline -- the instance list cannot change
+        between queries, so rebuilding it per UNKNOWN (as the seed did) only
+        re-filtered the same list.
         """
         unknowns = self.unknown_instances()
         if not unknowns:
             raise AnalysisError("no UNKNOWN instances to identify")
+        labelled = self.labelled_instances()
         return {
-            unknown.executable: self.query(unknown, top=top)
+            unknown.executable: self.query(unknown, candidates=labelled, top=top)
             for unknown in unknowns
         }
 
@@ -317,11 +378,13 @@ class SimilaritySearch:
         """Full pairwise similarity matrix over instances for one hash column.
 
         Indexed, only the pairs sharing an n-gram are aligned; the rest of the
-        ``O(N**2)`` matrix is filled with the 0 they would have scored.
-        Missing digests go through the same :meth:`_compare_digests` helper
-        every other path uses, so they score their 0 without a counted
-        comparison and without planting placeholder pairs in the compare LRU
-        -- the counter and cache semantics match :meth:`query` exactly.
+        ``O(N**2)`` matrix is filled with the 0 they would have scored.  Each
+        row's surviving pairs are scored in one
+        :meth:`~repro.hashing.ssdeep.FuzzyHasher.compare_many` sweep.
+        Missing digests go through the same batch helper every other path
+        uses, so they score their 0 without a counted comparison and without
+        planting placeholder pairs in the compare LRU -- the counter and
+        cache semantics match :meth:`query` exactly.
         """
         size = len(self.instances)
         matrix = [[0] * size for _ in range(size)]
@@ -332,10 +395,13 @@ class SimilaritySearch:
         for i in range(size):
             matrix[i][i] = 100
             candidates = index.candidates(digests[i], column) if index is not None else None
-            for j in range(i + 1, size):
-                if candidates is not None and j not in candidates:
-                    continue
-                score = self._compare_digests(digests[i], digests[j])
+            if candidates is None:
+                others = list(range(i + 1, size))
+            else:
+                others = [j for j in range(i + 1, size) if j in candidates]
+            batch = self._compare_digest_batch(digests[i],
+                                               [digests[j] for j in others])
+            for j, score in zip(others, batch):
                 matrix[i][j] = score
                 matrix[j][i] = score
         return matrix

@@ -32,6 +32,15 @@ class SirenConfig:
         different paths/mtimes hash once per deployment.
     hash_concurrency:
         Process-pool width for per-executable hashing (1 = in-process).
+    compare_backend:
+        Signature-comparison kernel for every analysis built from this
+        deployment (:meth:`~repro.core.framework.SirenFramework.analysis_pipeline`,
+        :meth:`~repro.core.framework.SirenFramework.live_analysis`,
+        :meth:`~repro.core.framework.SirenFramework.identify_unknown`):
+        ``"bitparallel"`` scores through the batched bit-parallel engine of
+        :mod:`repro.hashing.compare_engine`; ``"reference"`` keeps the seed
+        scalar path.  Scores are byte-identical either way (pattern of
+        ``hash_engine``).
     ingest_mode:
         ``"batch"`` persists raw messages and consolidates in a post-pass
         (the paper's pipeline); ``"streaming"`` consolidates messages as they
@@ -69,6 +78,7 @@ class SirenConfig:
     hash_engine: bool = True
     hash_content_cache: bool = True
     hash_concurrency: int = 1
+    compare_backend: str = "bitparallel"
     ingest_mode: str = "batch"
     ingest_shards: int = 1
     keep_raw_messages: bool = True

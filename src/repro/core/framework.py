@@ -65,6 +65,10 @@ class SirenFramework:
             raise CollectionError(
                 f"unknown transport {self.config.transport!r} "
                 "(expected 'memory' or 'socket')")
+        if self.config.compare_backend not in ("bitparallel", "reference"):
+            raise CollectionError(
+                f"unknown compare_backend {self.config.compare_backend!r} "
+                "(expected 'bitparallel' or 'reference')")
         self.store = MessageStore(self.config.store_path)
         if self.config.transport == "socket":
             self.channel = SocketChannel()
@@ -207,7 +211,8 @@ class SirenFramework:
             raise CollectionError(
                 "live_analysis requires ingest_mode='streaming'; batch mode "
                 "can feed LiveAnalysis.observe() with consolidate() output instead")
-        return LiveAnalysis(user_names=user_names or {}).bind(self)
+        return LiveAnalysis(user_names=user_names or {},
+                            compare_backend=self.config.compare_backend).bind(self)
 
     def analysis_pipeline(self, user_names: dict[int, str] | None = None,
                           ) -> AnalysisPipeline:
@@ -217,7 +222,8 @@ class SirenFramework:
         call re-consolidates (or re-snapshots, in streaming mode), so it
         reflects all messages received up to now.
         """
-        return AnalysisPipeline(self.consolidate(), user_names or {})
+        return AnalysisPipeline(self.consolidate(), user_names or {},
+                                compare_backend=self.config.compare_backend)
 
     def identify_unknown(self, *, top: int = 10, indexed: bool = True,
                          ) -> dict[str, list[SimilarityResult]]:

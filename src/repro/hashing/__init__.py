@@ -19,6 +19,14 @@ character runs, requires a common 7-gram, and converts a weighted
 Damerau-Levenshtein distance into a 0-100 match score.
 """
 
+from repro.hashing.compare_engine import (
+    CompareCache,
+    NormalizedDigest,
+    compare_scan_backend,
+    lcs_length,
+    lcs_length_many,
+    normalize_digest,
+)
 from repro.hashing.edit_distance import (
     damerau_levenshtein,
     levenshtein,
@@ -42,6 +50,12 @@ __all__ = [
     "FuzzyHasher",
     "FuzzyState",
     "scan_backend",
+    "CompareCache",
+    "NormalizedDigest",
+    "compare_scan_backend",
+    "lcs_length",
+    "lcs_length_many",
+    "normalize_digest",
     "fuzzy_hash",
     "fuzzy_hash_text",
     "compare",

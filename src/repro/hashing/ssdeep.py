@@ -35,14 +35,25 @@ Production hashing runs on the single-pass streaming engine in
 :mod:`repro.hashing.engine` (one trigger scan serves all candidate block
 sizes, so nothing is ever rescanned); the naive loop described above survives
 as :meth:`FuzzyHasher.hash_reference`, the golden oracle the engine is pinned
-against.
+against.  Production *comparison* likewise runs on the batched bit-parallel
+engine of :mod:`repro.hashing.compare_engine` (per-digest normalization
+cache + word-parallel LCS kernel, batched via :meth:`FuzzyHasher.compare_many`);
+the scalar path described above survives as
+:meth:`FuzzyHasher.compare_reference`, the oracle the engine's byte-identical
+scores are pinned against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
+from repro.hashing.compare_engine import (
+    CompareCache,
+    NormalizedDigest,
+    default_cost_distance_many,
+    normalize_digest,
+    normalize_parsed,
+)
 from repro.hashing.edit_distance import has_common_substring, weighted_edit_distance
 from repro.hashing.engine import B64_ALPHABET, FuzzyState, hash_many_parts
 from repro.hashing.fnv import SSDEEP_HASH_INIT, sum_hash
@@ -97,26 +108,35 @@ class FuzzyHasher:
         require_common_substring: bool = True,
         compare_cache_size: int = 65536,
         use_engine: bool = True,
+        compare_backend: str = "bitparallel",
     ) -> None:
         if min_block_size < 1:
             raise ValueError("min_block_size must be >= 1")
         if signature_length < 8:
             raise ValueError("signature_length must be >= 8")
+        if compare_backend not in ("bitparallel", "reference"):
+            raise ValueError(
+                f"unknown compare_backend {compare_backend!r} "
+                "(expected 'bitparallel' or 'reference')")
         self.min_block_size = min_block_size
         self.signature_length = signature_length
-        self.require_common_substring = require_common_substring
+        self._require_common_substring = require_common_substring
         #: Route :meth:`hash` through the single-pass engine
         #: (:mod:`repro.hashing.engine`).  ``False`` forces the reference
         #: per-byte implementation; digests are byte-identical either way,
         #: so this is purely a benchmarking/debugging valve.
         self.use_engine = use_engine
+        self._compare_backend = compare_backend
         # Shared process pool for hash_many(concurrency > 1), created lazily.
         self._pool = None
         self._pool_width = 0
         # Per-instance LRU over *digest string* pairs.  ``compare`` is
         # symmetric, so keys are normalised to the sorted pair, doubling the
-        # hit rate when the same instances meet in either order.
-        self._cached_compare = lru_cache(maxsize=compare_cache_size)(self.compare)
+        # hit rate when the same instances meet in either order.  The cache
+        # holds only strings and scores -- never ``self`` -- so the hasher
+        # is not pinned in a reference cycle (the seed's ``lru_cache`` over
+        # the bound method was).
+        self._compare_cache = CompareCache(maxsize=compare_cache_size)
 
     # ------------------------------------------------------------------ #
     # hashing
@@ -273,8 +293,69 @@ class FuzzyHasher:
     # ------------------------------------------------------------------ #
     # comparison
     # ------------------------------------------------------------------ #
+    @property
+    def compare_backend(self) -> str:
+        """The active comparison kernel: ``"bitparallel"`` or ``"reference"``.
+
+        ``"bitparallel"`` (default) scores through the engine of
+        :mod:`repro.hashing.compare_engine` -- normalization cached per
+        unique digest, distances via the word-parallel LCS kernel;
+        ``"reference"`` keeps the seed scalar path (re-parse + Python DP per
+        pair).  Scores are byte-identical either way; the knob exists for
+        verification and benchmarking.  Assigning it clears the compare LRU.
+        """
+        return self._compare_backend
+
+    @compare_backend.setter
+    def compare_backend(self, value: str) -> None:
+        if value not in ("bitparallel", "reference"):
+            raise ValueError(
+                f"unknown compare_backend {value!r} "
+                "(expected 'bitparallel' or 'reference')")
+        if value != self._compare_backend:
+            self._compare_backend = value
+            self.compare_cache_clear()
+
+    @property
+    def require_common_substring(self) -> bool:
+        """Whether scoring demands a shared 7-gram (ssdeep's gate).
+
+        Assigning a different value clears the compare LRU -- cached scores
+        were computed under the old gate and would otherwise go stale.
+        """
+        return self._require_common_substring
+
+    @require_common_substring.setter
+    def require_common_substring(self, value: bool) -> None:
+        if bool(value) != self._require_common_substring:
+            self._require_common_substring = bool(value)
+            self.compare_cache_clear()
+
     def compare(self, first: FuzzyHash | str, second: FuzzyHash | str) -> int:
         """Return the 0-100 similarity score between two fuzzy hashes."""
+        if self._compare_backend == "reference":
+            return self.compare_reference(first, second)
+        return self._compare_batch(self._normalize(first),
+                                   [self._normalize(second)])[0]
+
+    @staticmethod
+    def _normalize(digest: FuzzyHash | str) -> NormalizedDigest:
+        """Normalise a digest string (cached) or a ``FuzzyHash``'s components.
+
+        Objects go through the component-level path so hand-constructed
+        ``FuzzyHash`` values that would not survive a str()+re-parse round
+        trip still score identically to :meth:`compare_reference`.
+        """
+        if isinstance(digest, str):
+            return normalize_digest(digest)
+        return normalize_parsed(digest.block_size, digest.sig1, digest.sig2)
+
+    def compare_reference(self, first: FuzzyHash | str, second: FuzzyHash | str) -> int:
+        """The seed scalar comparison: parse, normalise and align per pair.
+
+        Kept as the oracle the bit-parallel engine is pinned against and as
+        the baseline of ``benchmarks/bench_compare.py``.
+        """
         h1 = first if isinstance(first, FuzzyHash) else FuzzyHash.parse(first)
         h2 = second if isinstance(second, FuzzyHash) else FuzzyHash.parse(second)
 
@@ -298,6 +379,56 @@ class FuzzyHasher:
             return self._score_strings(s1a, s2b, b1)
         return self._score_strings(s1b, s2a, b2)
 
+    def compare_many(self, baseline: FuzzyHash | str,
+                     candidates: list) -> list[int]:
+        """Score ``baseline`` against a candidate batch; matches scalar compare.
+
+        The batched hot path of similarity search, the pairwise matrices and
+        live analysis: the baseline is normalised once, repeated candidate
+        digests are deduplicated and every unique pair is scored exactly once
+        -- through the compare LRU first (a pair a previous sweep or a scalar
+        :meth:`compare_cached` call already scored is a hit), then through
+        the one-vs-many bit-parallel kernel, which advances the whole
+        remaining batch one signature column per word operation.  Every
+        scored pair is inserted into the LRU, so later scalar callers
+        benefit too.  Returns one 0-100 score per candidate, in order,
+        byte-identical to ``[self.compare(baseline, c) for c in candidates]``.
+        """
+        base = baseline if isinstance(baseline, str) else str(baseline)
+        # Dedup and cache-key by digest string, but score from the *source*
+        # value (component path for FuzzyHash objects, exactly like scalar
+        # compare), so object candidates whose signatures would not survive
+        # a str()+re-parse round trip still match the scalar loop.  String
+        # keying leaves the same (pre-existing) ambiguity compare_cached
+        # has: distinct objects sharing one digest string share one score.
+        keys: list[str] = []
+        unique: dict[str, FuzzyHash | str] = {}
+        for candidate in candidates:
+            key = candidate if isinstance(candidate, str) else str(candidate)
+            keys.append(key)
+            if key not in unique:
+                unique[key] = candidate
+        scores: dict[str, int] = {}
+        pending: list[str] = []
+        for key in unique:
+            cached = self._compare_cache.get(self._pair_key(base, key))
+            if cached is not None:
+                scores[key] = cached
+            else:
+                pending.append(key)
+        if pending:
+            if self._compare_backend == "reference":
+                computed = [self.compare_reference(baseline, unique[key])
+                            for key in pending]
+            else:
+                computed = self._compare_batch(
+                    self._normalize(baseline),
+                    [self._normalize(unique[key]) for key in pending])
+            for key, score in zip(pending, computed):
+                self._compare_cache.put(self._pair_key(base, key), score)
+                scores[key] = score
+        return [scores[key] for key in keys]
+
     def compare_cached(self, first: FuzzyHash | str, second: FuzzyHash | str) -> int:
         """:meth:`compare` memoised on the (order-normalised) digest pair.
 
@@ -305,23 +436,138 @@ class FuzzyHasher:
         other over and over (every UNKNOWN baseline meets every candidate, and
         the pairwise matrix meets every pair twice through symmetry); the
         signature alignment is by far the most expensive step, so an LRU keyed
-        on the digest pair removes all repeat work.
+        on the digest pair removes all repeat work.  :meth:`compare_many`
+        feeds the same cache, so batch sweeps and scalar lookups share hits.
         """
         a = str(first)
         b = str(second)
         if b < a:
             a, b = b, a
-        return self._cached_compare(a, b)
+        cached = self._compare_cache.get((a, b))
+        if cached is None:
+            cached = self.compare(a, b)
+            self._compare_cache.put((a, b), cached)
+        return cached
 
     def compare_cache_info(self):
-        """Hit/miss statistics of the :meth:`compare_cached` LRU."""
-        return self._cached_compare.cache_info()
+        """Hit/miss statistics of the shared compare LRU."""
+        return self._compare_cache.info()
+
+    def compare_cache_clear(self) -> None:
+        """Drop every cached score (call after changing comparison knobs).
+
+        The knob setters (:attr:`compare_backend`,
+        :attr:`require_common_substring`) call this automatically; callers
+        mutating scoring-relevant state by other means must call it
+        themselves, or the LRU serves scores computed under the old knobs.
+        """
+        self._compare_cache.clear()
+
+    @staticmethod
+    def _pair_key(a: str, b: str) -> tuple[str, str]:
+        """Order-normalised LRU key (compare is symmetric)."""
+        return (a, b) if a <= b else (b, a)
+
+    # -- bit-parallel backend ------------------------------------------- #
+    def _compare_batch(self, na: NormalizedDigest,
+                       pending: list[NormalizedDigest]) -> list[int]:
+        """Score one normalised baseline against many normalised candidates.
+
+        Immediately decidable components (incompatible bands, empty or equal
+        signatures, no shared 7-gram) resolve inline; the rest queue into at
+        most two one-vs-many kernel sweeps -- one per baseline signature,
+        since that signature is the kernel's pattern whichever candidate
+        signature it aligns against.  Each sweep also has one fixed scoring
+        band: the baseline's block size for its chunk signature, double it
+        for the double-chunk signature (exactly the bands
+        :meth:`compare_reference` passes for the corresponding alignments).
+        """
+        results = [0] * len(pending)
+        # Alignments needing a distance, grouped by baseline signature:
+        # (candidate position, candidate signature).
+        queue1: list[tuple[int, str]] = []
+        queue2: list[tuple[int, str]] = []
+        band1 = na.block_size
+        band2 = na.block_size * 2
+        for position, nb in enumerate(pending):
+            b1, b2 = na.block_size, nb.block_size
+            if b1 != b2 and b1 != b2 * 2 and b2 != b1 * 2:
+                continue
+            if b1 == b2 and na.s1 == nb.s1 and na.s2 == nb.s2 and na.s1:
+                results[position] = 100
+                continue
+            if b1 == b2:
+                self._queue_component(position, na.s1, nb.s1, na.grams1, nb.grams1,
+                                      band1, results, queue1)
+                self._queue_component(position, na.s2, nb.s2, na.grams2, nb.grams2,
+                                      band2, results, queue2)
+            elif b1 == b2 * 2:
+                self._queue_component(position, na.s1, nb.s2, na.grams1, nb.grams2,
+                                      band1, results, queue1)
+            else:
+                self._queue_component(position, na.s2, nb.s1, na.grams2, nb.grams1,
+                                      band2, results, queue2)
+        for pattern, masks, band, queue in ((na.s1, na.masks1, band1, queue1),
+                                            (na.s2, na.masks2, band2, queue2)):
+            if not queue:
+                continue
+            texts = [text for _, text in queue]
+            distances = default_cost_distance_many(pattern, texts, masks)
+            for (position, text), distance in zip(queue, distances):
+                score = self._rescale(distance, len(pattern), len(text))
+                if score is None:
+                    continue
+                score = self._apply_cap(score, len(pattern), len(text), band)
+                if score > results[position]:
+                    results[position] = score
+        return results
+
+    def _queue_component(self, position: int, s1: str, s2: str,
+                         grams1: frozenset, grams2: frozenset, band: int,
+                         results: list[int], queue: list) -> None:
+        """Resolve one alignment inline or queue it for the batched kernel."""
+        if not s1 or not s2:
+            return
+        if self._require_common_substring and not (grams1 & grams2):
+            return
+        if s1 == s2:
+            score = self._apply_cap(100, len(s1), len(s2), band)
+            if score > results[position]:
+                results[position] = score
+            return
+        queue.append((position, s2))
+
+    # -- shared scoring arithmetic -------------------------------------- #
+    def _rescale(self, distance: int, len1: int, len2: int) -> int | None:
+        """Edit distance -> raw 0-100 score; ``None`` when it rescales past 0.
+
+        Mirrors ssdeep's ``score_strings()`` rescaling.  Both backends share
+        this arithmetic, so their scores cannot drift: any distance at or
+        above ``len1 + len2`` maps to ``None`` (score 0), which is also why
+        the reference path's bounded DP -- whose early-exit value is only a
+        lower bound once it exceeds ``len1 + len2 - 1`` -- yields the same
+        score as the kernel's exact distance.
+        """
+        scaled = (distance * self.signature_length) // (len1 + len2)
+        scaled = (100 * scaled) // self.signature_length
+        if scaled >= 100:
+            return None
+        return 100 - scaled
+
+    def _apply_cap(self, score: int, len1: int, len2: int, block_size: int) -> int:
+        """Small-block-size cap: short inputs cannot claim near-perfect scores."""
+        threshold = (99 + ROLLING_WINDOW) // ROLLING_WINDOW * self.min_block_size
+        if block_size < threshold:
+            cap = block_size // self.min_block_size * min(len1, len2)
+            score = min(score, cap)
+        return max(0, min(100, score))
 
     def _score_strings(self, s1: str, s2: str, block_size: int) -> int:
         """Convert an edit distance between two signatures into a 0-100 score."""
         if not s1 or not s2:
             return 0
-        if self.require_common_substring and not has_common_substring(s1, s2, ROLLING_WINDOW):
+        if self._require_common_substring and not has_common_substring(
+                s1, s2, ROLLING_WINDOW):
             return 0
         if s1 == s2:
             score = 100
@@ -330,20 +576,12 @@ class FuzzyHasher:
             # the alignment may stop early once that is certain; scores are
             # unchanged (tests pin new-vs-unbounded equality).
             distance = weighted_edit_distance(s1, s2, bound=len(s1) + len(s2) - 1)
-            # Rescale: 0 distance -> 100, distance comparable to the combined
-            # signature length -> 0.  This mirrors ssdeep's score_strings().
-            scaled = (distance * self.signature_length) // (len(s1) + len(s2))
-            scaled = (100 * scaled) // self.signature_length
-            if scaled >= 100:
+            score = self._rescale(distance, len(s1), len(s2))
+            if score is None:
                 return 0
-            score = 100 - scaled
         # For small block sizes, cap the score so short inputs cannot claim
         # near-perfect similarity on the strength of a handful of pieces.
-        threshold = (99 + ROLLING_WINDOW) // ROLLING_WINDOW * self.min_block_size
-        if block_size < threshold:
-            cap = block_size // self.min_block_size * min(len(s1), len(s2))
-            score = min(score, cap)
-        return max(0, min(100, score))
+        return self._apply_cap(score, len(s1), len(s2), block_size)
 
 
 def eliminate_sequences(signature: str) -> str:

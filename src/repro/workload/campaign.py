@@ -65,6 +65,11 @@ class CampaignConfig:
     hash_engine: bool = True       #: single-pass hashing engine (identical digests)
     hash_content_cache: bool = True  #: content-addressed digest cache in the collector
     hash_concurrency: int = 1      #: process-pool width for per-executable hashing
+    #: signature-comparison kernel of campaign-built analyses
+    #: (:meth:`DeploymentCampaign.live_analysis`): ``"bitparallel"`` = the
+    #: batched bit-parallel engine, ``"reference"`` = the seed scalar path;
+    #: scores are byte-identical either way (pattern of ``hash_engine``).
+    compare_backend: str = "bitparallel"
     #: ``"batch"`` = persist raw messages, consolidate in a post-pass (the
     #: paper's pipeline); ``"streaming"`` = consolidate live while jobs run
     #: (record-for-record identical output).  With streaming,
@@ -147,6 +152,10 @@ class DeploymentCampaign:
             raise CollectionError(
                 f"unknown transport {self.config.transport!r} "
                 "(expected 'memory' or 'socket')")
+        if self.config.compare_backend not in ("bitparallel", "reference"):
+            raise CollectionError(
+                f"unknown compare_backend {self.config.compare_backend!r} "
+                "(expected 'bitparallel' or 'reference')")
         self.rng = SeededRNG(self.config.seed)
         self.cluster = Cluster()
         corpus = CorpusBuilder(self.cluster, rng=self.rng.fork("corpus"))
@@ -274,7 +283,8 @@ class DeploymentCampaign:
                 "live_analysis requires ingest_mode='streaming'; batch mode "
                 "can feed LiveAnalysis.observe() with snapshot() output instead")
         user_names = {user.uid: user.username for user in self.cluster.users.all()}
-        return LiveAnalysis(user_names=user_names).bind(self)
+        return LiveAnalysis(user_names=user_names,
+                            compare_backend=self.config.compare_backend).bind(self)
 
     def _drain_socket(self) -> None:
         """Pull queued loopback datagrams into the ingest path (socket transport)."""

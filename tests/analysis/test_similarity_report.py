@@ -150,6 +150,51 @@ class TestQueries:
         assert len(row) == 2 + len(HASH_COLUMNS)
 
 
+class TestCompareBackendEquivalence:
+    """The batched bit-parallel engine against the seed scalar path."""
+
+    def _searches(self, records, **kwargs):
+        from repro.hashing.ssdeep import FuzzyHasher
+
+        return (SimilaritySearch(records, **kwargs),
+                SimilaritySearch(records,
+                                 hasher=FuzzyHasher(compare_backend="reference"),
+                                 **kwargs))
+
+    def test_identify_unknown_identical_across_backends(self, records):
+        bit, ref = self._searches(records)
+        assert bit.identify_unknown(top=10) == ref.identify_unknown(top=10)
+        assert bit.comparisons == ref.comparisons
+
+    def test_pairwise_matrix_identical_across_backends(self, records):
+        for use_index in (True, False):
+            bit, ref = self._searches(records, use_index=use_index)
+            for column in HASH_COLUMNS:
+                assert bit.pairwise_average_matrix(column) == \
+                    ref.pairwise_average_matrix(column)
+            assert bit.comparisons == ref.comparisons
+
+    def test_compare_instances_many_matches_scalar(self, records):
+        bit, ref = self._searches(records)
+        first = bit.instances[0]
+        others = bit.instances[1:] + [ExecutableInstance(
+            executable="/p/empty", label="empty",
+            hashes={column: "" for column in HASH_COLUMNS})]
+        batched = bit.compare_instances_many(first, others)
+        scalar = [ref.compare_instances(first, other) for other in others]
+        assert batched == scalar
+        assert bit.comparisons == ref.comparisons
+
+    def test_query_counter_matches_scalar_path(self, records):
+        bit, ref = self._searches(records, use_index=False)
+        unknown = bit.unknown_instances()[0]
+        assert bit.query(unknown) == ref.query(unknown)
+        assert bit.comparisons == ref.comparisons
+        info = bit.hasher.compare_cache_info()
+        # Every unique non-empty pair was scored once and cached.
+        assert info.misses == info.currsize
+
+
 class TestReportRendering:
     def test_render_similarity(self, records):
         search = SimilaritySearch(records)

@@ -116,6 +116,40 @@ class TestEarlyExitBound:
             if exact <= bound:
                 assert bounded == exact
 
+    def test_bound_zero(self):
+        # bound=0 only admits distance 0, i.e. equal strings; everything else
+        # must come back strictly positive (and equal strings exactly 0).
+        assert weighted_edit_distance("same", "same", bound=0) == 0
+        assert weighted_edit_distance("", "", bound=0) == 0
+        for a, b in (("a", "b"), ("ab", "ba"), ("abc", "abcd"), ("x", "")):
+            assert weighted_edit_distance(a, b, bound=0) > 0
+
+    def test_transposition_exactly_at_the_early_exit_boundary(self):
+        # One adjacent swap costs 2: with bound=2 the exit must not fire
+        # before the transposition lookback (prev2) has had its say, and the
+        # result must be exact; with bound=1 the true distance exceeds the
+        # bound and the return value must reflect that.
+        for prefix in ("", "xx", "xyxy"):
+            a = prefix + "ab"
+            b = prefix + "ba"
+            assert weighted_edit_distance(a, b) == 2
+            assert weighted_edit_distance(a, b, bound=2) == 2
+            assert weighted_edit_distance(a, b, bound=1) > 1
+
+    def test_bounded_equals_unbounded_whenever_distance_fits(self):
+        # The contract: distances up to the bound are exact, for every bound
+        # at or above the true distance -- swept over random string pairs.
+        import random
+
+        rng = random.Random(123)
+        alphabet = "ABab01+/"
+        for _ in range(150):
+            a = "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 12)))
+            b = "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 12)))
+            exact = weighted_edit_distance(a, b)
+            for bound in (exact, exact + 1, exact + 7, 10 ** 6):
+                assert weighted_edit_distance(a, b, bound=bound) == exact
+
 
 class TestHasCommonSubstring:
     def test_short_strings_never_match(self):

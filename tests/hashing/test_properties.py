@@ -47,6 +47,47 @@ class TestEditDistanceProperties:
         assert weighted_edit_distance(a, b) >= 0
 
 
+class TestCompareEngineProperties:
+    """The bit-parallel engine against the scalar oracle, hypothesis-driven."""
+
+    signatures = st.text(
+        alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/",
+        max_size=64)
+    block_sizes = st.sampled_from([3, 6, 12, 24, 48, 96, 192])
+
+    @given(short_text, short_text)
+    @settings(max_examples=150, deadline=None)
+    def test_lcs_reduction_equals_weighted_dp(self, a, b):
+        from repro.hashing.compare_engine import default_cost_distance
+
+        assert default_cost_distance(a, b) == weighted_edit_distance(a, b)
+
+    @given(signatures, signatures, signatures, signatures,
+           block_sizes, block_sizes, st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_backends_score_byte_identical(self, s1a, s1b, s2a, s2b,
+                                           block1, block2, require_gram):
+        bit = FuzzyHasher(require_common_substring=require_gram)
+        ref = FuzzyHasher(require_common_substring=require_gram,
+                          compare_backend="reference")
+        a = str(FuzzyHash(block_size=block1, sig1=s1a, sig2=s1b))
+        b = str(FuzzyHash(block_size=block2, sig1=s2a, sig2=s2b))
+        assert bit.compare(a, b) == ref.compare(a, b)
+
+    @given(st.lists(st.tuples(signatures, signatures, block_sizes),
+                    min_size=0, max_size=12),
+           signatures, signatures, block_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_compare_many_equals_scalar_loop(self, candidates, sig1, sig2, block):
+        bit = FuzzyHasher()
+        ref = FuzzyHasher(compare_backend="reference")
+        baseline = str(FuzzyHash(block_size=block, sig1=sig1, sig2=sig2))
+        digests = [str(FuzzyHash(block_size=b, sig1=a, sig2=c))
+                   for a, c, b in candidates]
+        assert bit.compare_many(baseline, digests) == \
+            [ref.compare(baseline, digest) for digest in digests]
+
+
 class TestRollingHashProperties:
     @given(payloads)
     @settings(max_examples=50, deadline=None)
