@@ -50,6 +50,14 @@ class SirenConfig:
     ingest_shards:
         Number of receiver+consolidator workers in streaming mode (each
         process key lands deterministically on one shard).
+    ingest_workers:
+        Worker backend of the sharded streaming front: ``"thread"`` keeps
+        every shard in this interpreter (cheap, but GIL-bound);
+        ``"process"`` gives each shard its own OS process -- raw datagrams
+        are routed by their header bytes, decode + consolidation run on one
+        core per shard, and finalized records merge back into the shared
+        store at every snapshot/delta/finalize, so record output, ordering
+        and delta-cursor semantics are identical either way.
     keep_raw_messages:
         Whether raw messages survive in the ``messages`` table.  In
         streaming mode it decides whether messages are *also* persisted
@@ -81,5 +89,6 @@ class SirenConfig:
     compare_backend: str = "bitparallel"
     ingest_mode: str = "batch"
     ingest_shards: int = 1
+    ingest_workers: str = "thread"
     keep_raw_messages: bool = True
     transport: str = "memory"

@@ -12,7 +12,8 @@ Two ingest modes (``SirenConfig.ingest_mode``):
 * ``"batch"`` -- the paper's pipeline: the receiver persists raw messages and
   :meth:`consolidate` runs the batch post-pass;
 * ``"streaming"`` -- messages are consolidated as they arrive by
-  :class:`~repro.ingest.sharded.ShardedIngest` (``ingest_shards`` workers),
+  :class:`~repro.ingest.sharded.ShardedIngest` (``ingest_shards`` shard
+  workers, in-interpreter or one OS process each per ``ingest_workers``),
   :meth:`snapshot` / :meth:`consolidate` return the live record set
   without waiting for the deployment to end, and :meth:`live_analysis`
   serves incrementally maintained analysis views over the record delta
@@ -65,6 +66,10 @@ class SirenFramework:
             raise CollectionError(
                 f"unknown transport {self.config.transport!r} "
                 "(expected 'memory' or 'socket')")
+        if self.config.ingest_workers not in ("thread", "process"):
+            raise CollectionError(
+                f"unknown ingest_workers {self.config.ingest_workers!r} "
+                "(expected 'thread' or 'process')")
         if self.config.compare_backend not in ("bitparallel", "reference"):
             raise CollectionError(
                 f"unknown compare_backend {self.config.compare_backend!r} "
@@ -79,7 +84,8 @@ class SirenFramework:
             self.channel = InMemoryChannel()
         if self.config.ingest_mode == "streaming":
             self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
-                                        persist_raw=self.config.keep_raw_messages)
+                                        persist_raw=self.config.keep_raw_messages,
+                                        workers=self.config.ingest_workers)
             self.ingest.attach(self.channel)
         else:
             self.receiver = MessageReceiver(self.store)

@@ -17,20 +17,37 @@ turns ingest into a live system:
   process key and merges their counters; its
   :meth:`~repro.ingest.sharded.ShardedIngest.snapshot_delta` serves the
   exactly-once record delta stream (:class:`~repro.ingest.sharded.ProcessDelta`)
-  behind the live analysis layer (:mod:`repro.analysis.live`).
+  behind the live analysis layer (:mod:`repro.analysis.live`);
+* :mod:`repro.ingest.procworkers` --
+  :class:`~repro.ingest.procworkers.ProcessShardPool` runs each shard as a
+  real OS process with its own store and consolidator
+  (``ShardedIngest(workers="process")``), routing raw datagram bytes by
+  their header slice and merging finalized records back into the shared
+  store at every snapshot/delta/finalize sync -- true multi-core ingest
+  with unchanged snapshot semantics.
 
-Both are pinned record-for-record equivalent to the batch consolidator (see
-``tests/ingest/``); ``ingest_mode="streaming"`` on
+All paths are pinned record-for-record equivalent to the batch consolidator
+(see ``tests/ingest/``); ``ingest_mode="streaming"`` +
+``ingest_workers="thread"|"process"`` on
 :class:`~repro.workload.campaign.CampaignConfig` /
-:class:`~repro.core.config.SirenConfig` selects them end to end.
+:class:`~repro.core.config.SirenConfig` select them end to end.
 """
 
 from repro.ingest.incremental import IncrementalConsolidator
-from repro.ingest.sharded import ProcessDelta, ShardedIngest, shard_of
+from repro.ingest.procworkers import ProcessShardPool, ShardReport
+from repro.ingest.sharded import (
+    ProcessDelta,
+    ShardedIngest,
+    shard_of,
+    shard_of_datagram,
+)
 
 __all__ = [
     "IncrementalConsolidator",
     "ProcessDelta",
+    "ProcessShardPool",
+    "ShardReport",
     "ShardedIngest",
     "shard_of",
+    "shard_of_datagram",
 ]

@@ -1,0 +1,335 @@
+"""Process-parallel shard workers for the sharded ingest front.
+
+The thread-mode :class:`~repro.ingest.sharded.ShardedIngest` runs all of its
+shard consolidators inside one interpreter, so N shards share one GIL and the
+"parallel" ingest loses to a single streaming consolidator (the
+``BENCH_ingest.json`` sharded-4 regression).  This module supplies the
+process-mode backend: each shard is a real OS process owning its *own*
+in-memory :class:`~repro.db.store.MessageStore` and
+:class:`~repro.ingest.incremental.IncrementalConsolidator`, fed
+pre-partitioned batches of **raw datagram bytes** over a bounded queue.  The
+front never decodes in this mode (routing reads the raw header slice, see
+:func:`~repro.ingest.sharded.shard_of_datagram`), so the per-datagram front
+cost is a header scan plus a queue append -- the decode, grouping and record
+assembly all run on the workers' cores.
+
+Merge-at-snapshot
+-----------------
+Workers never touch the shared store.  Finalized records accumulate in each
+worker's private store and are shipped back -- exactly once, tracked by a
+worker-local rowid cursor -- when the front performs a **sync**: a marker
+message is enqueued after all pending batches, and because the feed queue is
+FIFO, the worker's reply proves every previously shipped datagram has been
+consumed.  The front inserts the returned records into the shared store
+through the same first-close-wins insert streaming mode always used, so
+``snapshot()`` / ``snapshot_delta()`` / ``finalize()`` keep their exact
+thread-mode semantics: finalized records live in the shared ``processes``
+table, the rowid delta cursor stays monotonic and exactly-once, and open
+groups are non-destructive peeks (returned with each sync reply).
+
+Failure semantics
+-----------------
+Queues are bounded (``queue_depth`` batches per worker), so a dead worker
+cannot make the front buffer unboundedly: every blocking interaction --
+feeding a full queue, awaiting a sync reply -- polls worker liveness and
+raises :class:`~repro.util.errors.TransportError` with the shard index and
+exit code instead of hanging.  On such a failure the whole pool is torn down
+(no orphaned children); records already merged into the shared store
+survive, anything still inside the dead worker is reported lost.  Workers
+are daemonic as a last-resort backstop: an abandoned, unfinalized front
+cannot keep the interpreter alive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from queue import Empty, Full
+
+from repro.db.store import MessageStore, ProcessRecord
+from repro.ingest.incremental import IncrementalConsolidator
+from repro.transport.messages import UDPMessage
+from repro.util.errors import TransportError
+
+#: Bounded feed-queue depth, in batches: a worker can fall at most this many
+#: batches (``queue_depth * batch_size`` datagrams) behind the front before
+#: back-pressure blocks the producer.  Bounded memory, and a liveness probe
+#: point -- an unbounded queue would let a crashed worker absorb the whole
+#: campaign silently.
+DEFAULT_QUEUE_DEPTH = 8
+
+#: Seconds a queue interaction waits between worker-liveness probes.
+_POLL_INTERVAL = 0.2
+
+#: Seconds to keep draining a reply queue after its worker exited -- the
+#: queue feeder thread may still be flushing the final report.
+_DRAIN_GRACE = 5.0
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One worker's reply to a sync/close marker."""
+
+    sync_id: int
+    new_records: tuple[ProcessRecord, ...]   #: finalized since the last sync
+    open_records: tuple[ProcessRecord, ...]  #: current non-destructive peek
+    statistics: dict                         #: the consolidator's counters
+    messages_received: int                   #: decoded messages consumed so far
+    decode_errors: int                       #: undecodable datagrams so far
+
+
+def _shard_worker_main(feed, replies, flush_batch_size: int, idle_epochs: int) -> None:
+    """One shard worker: private store + consolidator over a raw-datagram feed.
+
+    Commands (FIFO): ``("batch", [datagram, ...])`` decodes and consumes one
+    receiver batch (one epoch tick, like a receiver flush); ``("sync", id)``
+    flushes and reports; ``("close", id)`` closes every open group, reports,
+    and exits.  Decode errors are counted here (the front routes raw bytes)
+    and shipped back with every report.
+    """
+    store = MessageStore()
+    consolidator = IncrementalConsolidator(
+        store, flush_batch_size=flush_batch_size, idle_epochs=idle_epochs)
+    messages_received = 0
+    decode_errors = 0
+    cursor = 0
+    while True:
+        command, payload = feed.get()
+        if command == "batch":
+            decoded = []
+            for datagram in payload:
+                try:
+                    decoded.append(UDPMessage.decode(datagram))
+                except TransportError:
+                    decode_errors += 1
+            if decoded:
+                # One shipped batch == one receiver flush: feed, then tick
+                # the idle-close epoch clock, exactly like thread mode.
+                messages_received += len(decoded)
+                consolidator.feed_many(decoded)
+                consolidator.advance_epoch()
+        elif command in ("sync", "close"):
+            if command == "close":
+                consolidator.close_all()
+                open_records: list[ProcessRecord] = []
+            else:
+                consolidator.flush()
+                open_records = consolidator.peek_open()
+            new_records, cursor = store.load_processes_since(cursor)
+            replies.put(ShardReport(
+                sync_id=payload,
+                new_records=tuple(new_records),
+                open_records=tuple(open_records),
+                statistics=consolidator.statistics(),
+                messages_received=messages_received,
+                decode_errors=decode_errors,
+            ))
+            if command == "close":
+                return
+
+
+def _context():
+    """Prefer fork (cheap, no re-import) where available, else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+@dataclass
+class _WorkerHandle:
+    """The front's view of one shard worker."""
+
+    index: int
+    process: multiprocessing.Process
+    feed: object       #: bounded command queue, front -> worker
+    replies: object    #: report queue, worker -> front
+    buffer: list[bytes] = field(default_factory=list)  #: pending raw datagrams
+    report: ShardReport | None = None                  #: last sync/close report
+
+
+class ProcessShardPool:
+    """N shard-worker processes behind partitioned, bounded feed queues."""
+
+    def __init__(self, shards: int, *, batch_size: int = 500,
+                 flush_batch_size: int = 64, idle_epochs: int = 2,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+        self.shards = shards
+        self.batch_size = batch_size
+        self.closed = False
+        self._sync_id = 0
+        context = _context()
+        self._workers: list[_WorkerHandle] = []
+        for index in range(shards):
+            feed = context.Queue(maxsize=queue_depth)
+            replies = context.Queue()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(feed, replies, flush_batch_size, idle_epochs),
+                name=f"siren-shard-{index}", daemon=True)
+            process.start()
+            self._workers.append(_WorkerHandle(index=index, process=process,
+                                               feed=feed, replies=replies))
+
+    # ------------------------------------------------------------------ #
+    # feeding
+    # ------------------------------------------------------------------ #
+    def route(self, shard: int, datagram: bytes) -> None:
+        """Buffer one raw datagram for ``shard``; ship on a full batch."""
+        worker = self._workers[shard]
+        worker.buffer.append(datagram)
+        if len(worker.buffer) >= self.batch_size:
+            self._ship(worker)
+
+    def flush(self) -> int:
+        """Ship every partial batch; returns how many datagrams were shipped."""
+        shipped = 0
+        for worker in self._workers:
+            shipped += len(worker.buffer)
+            self._ship(worker)
+        return shipped
+
+    def _ship(self, worker: _WorkerHandle) -> None:
+        if not worker.buffer:
+            return
+        self._put(worker, ("batch", worker.buffer))
+        worker.buffer = []
+
+    def _put(self, worker: _WorkerHandle, command: tuple) -> None:
+        """Enqueue with back-pressure, failing fast if the worker died."""
+        while True:
+            if not worker.process.is_alive():
+                self._fail(worker)
+            try:
+                worker.feed.put(command, timeout=_POLL_INTERVAL)
+                return
+            except Full:
+                continue
+
+    # ------------------------------------------------------------------ #
+    # sync / close
+    # ------------------------------------------------------------------ #
+    def sync(self) -> list[ProcessRecord]:
+        """Flush partial batches, collect every worker's report.
+
+        Returns the newly finalized records of all shards (each record
+        exactly once across the pool's lifetime), in shard order.  Open-group
+        peeks and counters are cached on the handles for the front to read.
+        """
+        return self._collect("sync")
+
+    def close(self) -> list[ProcessRecord]:
+        """Final sync: close all open groups, stop and join every worker."""
+        new_records = self._collect("close")
+        for worker in self._workers:
+            worker.process.join(timeout=30)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                self.terminate()
+                raise TransportError(
+                    f"ingest shard {worker.index} worker failed to exit on close")
+            worker.feed.close()
+            worker.replies.close()
+        self.closed = True
+        return new_records
+
+    def _collect(self, command: str) -> list[ProcessRecord]:
+        if self.closed:
+            raise TransportError("the process shard pool is already closed")
+        self._sync_id += 1
+        for worker in self._workers:
+            self._ship(worker)
+            self._put(worker, (command, self._sync_id))
+        new_records: list[ProcessRecord] = []
+        for worker in self._workers:
+            report = self._await_report(worker)
+            worker.report = report
+            new_records.extend(report.new_records)
+        return new_records
+
+    def _await_report(self, worker: _WorkerHandle) -> ShardReport:
+        died_at: float | None = None
+        while True:
+            try:
+                report = worker.replies.get(timeout=_POLL_INTERVAL)
+            except Empty:
+                if not worker.process.is_alive():
+                    # The reply may still be in flight from the worker's
+                    # queue feeder thread; drain briefly before concluding.
+                    now = time.monotonic()
+                    if died_at is None:
+                        died_at = now
+                    elif now - died_at > _DRAIN_GRACE:
+                        self._fail(worker)
+                continue
+            if report.sync_id == self._sync_id:
+                return report
+
+    def _fail(self, worker: _WorkerHandle) -> None:
+        """Tear the pool down and surface a diagnostic for a dead worker."""
+        exitcode = worker.process.exitcode
+        self.terminate()
+        raise TransportError(
+            f"ingest shard {worker.index} worker died (exit code {exitcode}) "
+            "with datagrams outstanding -- records routed to that shard since "
+            "the last sync are lost; restart the ingest front")
+
+    def terminate(self) -> None:
+        """Kill every worker and release the queues (error/abort path)."""
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in self._workers:
+            worker.process.join(timeout=10)
+            worker.feed.close()
+            worker.replies.close()
+        self.closed = True
+
+    # ------------------------------------------------------------------ #
+    # merged views of the last sync
+    # ------------------------------------------------------------------ #
+    @property
+    def open_records(self) -> list[ProcessRecord]:
+        """Open-group peeks from the last sync, in shard order."""
+        return [record for worker in self._workers if worker.report is not None
+                for record in worker.report.open_records]
+
+    @property
+    def messages_received(self) -> int:
+        """Messages decoded across all workers, as of the last sync."""
+        return sum(worker.report.messages_received for worker in self._workers
+                   if worker.report is not None)
+
+    @property
+    def decode_errors(self) -> int:
+        """Worker-side decode errors, as of the last sync."""
+        return sum(worker.report.decode_errors for worker in self._workers
+                   if worker.report is not None)
+
+    def merged_statistics(self) -> dict[str, int]:
+        """Summed consolidator counters of all workers, as of the last sync."""
+        merged: dict[str, int] = {}
+        for worker in self._workers:
+            if worker.report is None:
+                continue
+            for name, value in worker.report.statistics.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def stat_sum(self, name: str) -> int:
+        """One summed consolidator counter (0 before the first sync)."""
+        return sum(worker.report.statistics.get(name, 0)
+                   for worker in self._workers if worker.report is not None)
+
+    # ------------------------------------------------------------------ #
+    # introspection (tests, diagnostics)
+    # ------------------------------------------------------------------ #
+    @property
+    def processes(self) -> list[multiprocessing.Process]:
+        """The worker processes, in shard order."""
+        return [worker.process for worker in self._workers]
+
+    def alive_workers(self) -> list[int]:
+        """Shard indices whose worker process is still alive."""
+        return [worker.index for worker in self._workers
+                if worker.process.is_alive()]

@@ -9,12 +9,26 @@ stable FNV-1a hash of the process header -- every message of one process
 lands on the same shard, so each shard consolidates a disjoint set of
 process keys and the shard outputs merely concatenate.
 
-The front decodes each datagram exactly once (counting decode errors
-centrally) and routes the decoded message via the receivers' pre-decoded
-fast path, so sharding adds routing cost but no second decode.  Shard
-assignment is deterministic across runs and processes (FNV, not Python's
-randomised ``hash``), keeping campaign results reproducible counter-for-
-counter, not just record-for-record.
+Two worker backends (``workers=``):
+
+* ``"thread"`` -- all shards live in this interpreter.  The front decodes
+  each datagram exactly once (counting decode errors centrally) and routes
+  the decoded message via the receivers' pre-decoded fast path, so sharding
+  adds routing cost but no second decode.  Cheap and simple, but the shards
+  share one GIL: with CPU-bound consolidation this mode cannot beat a single
+  streaming consolidator.
+* ``"process"`` -- each shard is a real OS process
+  (:class:`~repro.ingest.procworkers.ProcessShardPool`) owning its own store
+  and consolidator.  The front routes **raw datagram bytes** by hashing the
+  header slice directly (:func:`shard_of_datagram` -- no decode at all on
+  the fast path) and merges finalized records back into the shared store at
+  every sync point, so ``snapshot()`` / ``snapshot_delta()`` / ``finalize()``
+  keep their exact thread-mode semantics while decode + consolidation run on
+  as many cores as there are shards.
+
+Shard assignment is deterministic across runs and processes (FNV, not
+Python's randomised ``hash``), keeping campaign results reproducible
+counter-for-counter, not just record-for-record.
 """
 
 from __future__ import annotations
@@ -24,10 +38,15 @@ from dataclasses import dataclass, field
 from repro.db.store import MessageStore, ProcessRecord
 from repro.hashing.fnv import fnv1a_32
 from repro.ingest.incremental import IncrementalConsolidator
+from repro.ingest.procworkers import ProcessShardPool
 from repro.transport.channel import Channel
 from repro.transport.messages import UDPMessage
 from repro.transport.receiver import MessageReceiver
 from repro.util.errors import TransportError
+
+#: Raw-datagram prefix of a SIREN message (protocol tag + field separator).
+_RAW_TAG = b"SIREN1\x1f"
+_RAW_SEPARATOR = b"\x1f"
 
 
 def _in_key_order(records: list[ProcessRecord]) -> list[ProcessRecord]:
@@ -63,14 +82,50 @@ def shard_of(message: UDPMessage, shards: int) -> int:
     return fnv1a_32(key.encode("utf-8")) % shards
 
 
+def shard_of_datagram(datagram: bytes, shards: int) -> int | None:
+    """Shard index straight from raw datagram bytes; ``None`` if malformed.
+
+    The encoded header lays the six process-key fields (``JOBID`` through
+    ``TIME``) contiguously between the protocol tag and the seventh field
+    separator, so the byte slice covering them *is* the UTF-8 encoding of
+    the key string :func:`shard_of` hashes -- for any datagram produced by
+    :meth:`~repro.transport.messages.UDPMessage.encode`, this returns the
+    same shard without decoding anything.  Datagrams that do not even carry
+    a plausible SIREN header are screened out here (``None``) and counted by
+    the front; deeper malformations surface at the worker's real decode.
+    """
+    if not datagram.startswith(_RAW_TAG):
+        return None
+    start = len(_RAW_TAG)
+    end = start
+    for _ in range(6):
+        end = datagram.find(_RAW_SEPARATOR, end)
+        if end < 0:
+            return None
+        end += 1
+    return fnv1a_32(datagram[start:end - 1]) % shards
+
+
 @dataclass
 class ShardedIngest:
     """Partition a datagram stream across independent streaming consolidators.
 
     With ``shards=1`` this degenerates to a single receiver + consolidator --
     the campaign's plain ``ingest_mode="streaming"`` wiring uses exactly that.
-    All shards share one :class:`MessageStore`; their process-key sets are
-    disjoint, so the upsert flushes never collide.
+    In thread mode all shards share one :class:`MessageStore`; their
+    process-key sets are disjoint, so the upsert flushes never collide.  In
+    process mode (``workers="process"``) each shard owns a private store and
+    finalized records are merged into the shared store at every
+    snapshot/delta/finalize sync -- identical table contents, identical
+    delta-cursor semantics, true multi-core decode and consolidation.
+
+    Process-mode caveats: operational counters (``messages_received``,
+    ``records_built``, ``statistics()``...) reflect the *last sync*, not the
+    instant they are read; and with ``persist_raw=True`` the front must
+    decode datagrams itself to persist them, giving up most of the routing
+    cheapness (pure streaming -- ``persist_raw=False`` -- is the fast path).
+    A dead worker is detected at the next queue interaction or sync and
+    surfaces as :class:`TransportError` instead of a hang.
     """
 
     store: MessageStore
@@ -79,13 +134,27 @@ class ShardedIngest:
     flush_batch_size: int = 64
     idle_epochs: int = 2
     persist_raw: bool = False
-    decode_errors: int = 0
-    receivers: list[MessageReceiver] = field(init=False)
-    consolidators: list[IncrementalConsolidator] = field(init=False)
+    workers: str = "thread"
+    receivers: list[MessageReceiver] = field(init=False, default_factory=list)
+    consolidators: list[IncrementalConsolidator] = field(init=False, default_factory=list)
+    _front_decode_errors: int = field(init=False, default=0)
+    _pool: ProcessShardPool | None = field(init=False, default=None)
+    _raw_buffer: list[UDPMessage] = field(init=False, default_factory=list)
+    _finalized: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise TransportError("ingest needs at least one shard")
+        if self.workers not in ("thread", "process"):
+            raise TransportError(
+                f"unknown ingest workers {self.workers!r} "
+                "(expected 'thread' or 'process')")
+        if self.workers == "process":
+            self._pool = ProcessShardPool(
+                self.shards, batch_size=self.batch_size,
+                flush_batch_size=self.flush_batch_size,
+                idle_epochs=self.idle_epochs)
+            return
         self.consolidators = [
             IncrementalConsolidator(self.store, flush_batch_size=self.flush_batch_size,
                                     idle_epochs=self.idle_epochs)
@@ -105,11 +174,31 @@ class ShardedIngest:
         channel.subscribe(self.handle_datagram)
 
     def handle_datagram(self, datagram: bytes) -> None:
-        """Decode once, route to the owning shard."""
+        """Route one datagram to the owning shard.
+
+        Thread mode decodes here (once, centrally); process mode routes the
+        raw bytes by their header slice and lets the owning worker decode.
+        """
+        if self._pool is not None:
+            shard = shard_of_datagram(datagram, self.shards)
+            if shard is None:
+                self._front_decode_errors += 1
+                return
+            if self.persist_raw:
+                try:
+                    message = UDPMessage.decode(datagram)
+                except TransportError:
+                    self._front_decode_errors += 1
+                    return
+                self._raw_buffer.append(message)
+                if len(self._raw_buffer) >= self.batch_size:
+                    self._flush_raw()
+            self._pool.route(shard, datagram)
+            return
         try:
             message = UDPMessage.decode(datagram)
         except TransportError:
-            self.decode_errors += 1
+            self._front_decode_errors += 1
             return
         shard = shard_of(message, self.shards) if self.shards > 1 else 0
         self.receivers[shard].handle_message(message)
@@ -117,9 +206,26 @@ class ShardedIngest:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    def _flush_raw(self) -> None:
+        """Persist the front's raw-message buffer (process mode + persist_raw)."""
+        if self._raw_buffer:
+            self.store.insert_many(self._raw_buffer)
+            self._raw_buffer.clear()
+
     def flush(self) -> int:
-        """Flush every shard's receiver buffer; returns messages delivered."""
+        """Flush every shard's buffer; returns messages delivered/shipped."""
+        if self._pool is not None:
+            self._flush_raw()
+            return self._pool.flush()
         return sum(receiver.flush() for receiver in self.receivers)
+
+    def _sync_pool(self) -> None:
+        """Ship pending batches, merge newly finalized records into the store."""
+        assert self._pool is not None
+        self._flush_raw()
+        new_records = self._pool.sync()
+        if new_records:
+            self.store.insert_processes_if_absent(new_records)
 
     def snapshot(self) -> list[ProcessRecord]:
         """Live view: flush every shard, then read the shared store once.
@@ -129,17 +235,23 @@ class ShardedIngest:
         groups); still-open groups are peeked non-destructively.  Returned
         in canonical process-key order -- the order the batch consolidator
         emits -- so downstream analyses see the same sequence regardless of
-        shard count.
+        shard count or worker backend.
         """
-        self.flush()
-        for consolidator in self.consolidators:
-            consolidator.flush()
+        if self._pool is not None:
+            if not self._finalized:
+                self._sync_pool()
+            open_peeks = self._pool.open_records
+        else:
+            self.flush()
+            for consolidator in self.consolidators:
+                consolidator.flush()
+            open_peeks = [record for consolidator in self.consolidators
+                          for record in consolidator.peek_open()]
         records = self.store.load_processes()
         finalized = {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time) for r in records}
-        for consolidator in self.consolidators:
-            records.extend(r for r in consolidator.peek_open()
-                           if (r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
-                           not in finalized)
+        records.extend(r for r in open_peeks
+                       if (r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                       not in finalized)
         return _in_key_order(records)
 
     def snapshot_delta(self, cursor: int = 0) -> ProcessDelta:
@@ -152,14 +264,21 @@ class ShardedIngest:
         handful of still-open groups), not to the campaign so far.  Records
         finalized through the first-close-wins insert are immutable, which
         is what makes the rowid cursor a correct delta stream (see
-        :meth:`MessageStore.load_processes_since`).
+        :meth:`MessageStore.load_processes_since`); in process mode the
+        records are merged into the shared store during this call's sync,
+        *before* the cursor read, so the exactly-once contract is unchanged.
         """
-        self.flush()
-        for consolidator in self.consolidators:
-            consolidator.flush()
+        if self._pool is not None:
+            if not self._finalized:
+                self._sync_pool()
+            open_records = self._pool.open_records
+        else:
+            self.flush()
+            for consolidator in self.consolidators:
+                consolidator.flush()
+            open_records = [record for consolidator in self.consolidators
+                            for record in consolidator.peek_open()]
         new_records, cursor = self.store.load_processes_since(cursor)
-        open_records = [record for consolidator in self.consolidators
-                        for record in consolidator.peek_open()]
         return ProcessDelta(new_records=tuple(new_records),
                             open_records=tuple(open_records), cursor=cursor)
 
@@ -167,42 +286,89 @@ class ShardedIngest:
         """End of stream: flush, close every shard, return all records.
 
         Like :meth:`snapshot`, read back from the shared store and returned
-        in canonical process-key order.
+        in canonical process-key order.  In process mode this also joins
+        every worker process (a worker that died instead surfaces as
+        :class:`TransportError`); calling it again is harmless and simply
+        re-reads the store.
         """
+        if self._pool is not None:
+            if not self._finalized:
+                self._flush_raw()
+                new_records = self._pool.close()
+                if new_records:
+                    self.store.insert_processes_if_absent(new_records)
+                self._finalized = True
+            return _in_key_order(self.store.load_processes())
         self.flush()
         for consolidator in self.consolidators:
             consolidator.close_all()
         return _in_key_order(self.store.load_processes())
 
+    def close(self) -> None:
+        """Abort path: stop process workers without a final merge.
+
+        Records not yet synced to the shared store are discarded -- use
+        :meth:`finalize` for a clean end of stream.  A no-op in thread mode
+        and after :meth:`finalize`.
+        """
+        if self._pool is not None and not self._finalized:
+            self._pool.terminate()
+            self._finalized = True
+
     # ------------------------------------------------------------------ #
     # merged counters
     # ------------------------------------------------------------------ #
     @property
+    def decode_errors(self) -> int:
+        """Undecodable datagrams (front screening plus, in process mode,
+        worker-side decode failures as of the last sync)."""
+        if self._pool is not None:
+            return self._front_decode_errors + self._pool.decode_errors
+        return self._front_decode_errors
+
+    @property
     def messages_received(self) -> int:
-        """Messages accepted across all shards."""
+        """Messages accepted across all shards (last sync, in process mode)."""
+        if self._pool is not None:
+            return self._pool.messages_received
         return sum(receiver.messages_received for receiver in self.receivers)
 
     @property
     def records_built(self) -> int:
-        """Records finalized across all shards."""
+        """Records finalized across all shards (last sync, in process mode)."""
+        if self._pool is not None:
+            return self._pool.stat_sum("records_built")
         return sum(consolidator.records_built for consolidator in self.consolidators)
 
     @property
     def open_processes(self) -> int:
         """Process groups currently open across all shards."""
+        if self._pool is not None:
+            return self._pool.stat_sum("open_processes")
         return sum(consolidator.open_processes for consolidator in self.consolidators)
 
     @property
     def peak_open_processes(self) -> int:
         """Sum of per-shard peaks (an upper bound on the true joint peak)."""
+        if self._pool is not None:
+            return self._pool.stat_sum("peak_open_processes")
         return sum(consolidator.peak_open_processes for consolidator in self.consolidators)
 
     def statistics(self) -> dict[str, int]:
-        """Merged operational counters of all shards plus the front."""
+        """Merged operational counters of all shards plus the front.
+
+        Counter-for-counter identical between worker backends after a sync
+        point (the shard partition is the same FNV function either way); in
+        process mode the values are as of the last sync.
+        """
         merged: dict[str, int] = {"shards": self.shards, "decode_errors": self.decode_errors,
                                   "messages_received": self.messages_received}
-        for consolidator in self.consolidators:
-            for name, value in consolidator.statistics().items():
+        if self._pool is not None:
+            for name, value in self._pool.merged_statistics().items():
                 merged[name] = merged.get(name, 0) + value
+        else:
+            for consolidator in self.consolidators:
+                for name, value in consolidator.statistics().items():
+                    merged[name] = merged.get(name, 0) + value
         merged["peak_open_processes"] = self.peak_open_processes
         return merged

@@ -10,7 +10,8 @@
 4. consolidate the UDP messages into per-process records -- in a post-pass
    (``ingest_mode="batch"``) or live while the jobs run
    (``ingest_mode="streaming"``, optionally sharded across
-   ``ingest_shards`` receiver+consolidator workers).
+   ``ingest_shards`` receiver+consolidator workers, each either an
+   in-interpreter shard or a real OS process per ``ingest_workers``).
 
 The result object carries everything the analysis layer and the benchmark
 harness need: the records, the store, the anonymised user mapping, the corpus
@@ -76,6 +77,11 @@ class CampaignConfig:
     #: ``keep_raw_messages`` decides whether raw messages are *also* persisted.
     ingest_mode: str = "batch"
     ingest_shards: int = 1         #: streaming receiver+consolidator workers
+    #: ``"thread"`` = all shards in this interpreter (GIL-bound);
+    #: ``"process"`` = one OS process per shard, raw datagrams routed by
+    #: header bytes and records merged back at snapshot/finalize -- output
+    #: records, ordering and delta cursors are identical either way.
+    ingest_workers: str = "thread"
     #: ``"memory"`` = in-memory channel (lossy when ``loss_rate > 0``);
     #: ``"socket"`` = real UDP datagrams over loopback, drained between jobs
     #: (``loss_rate`` is ignored -- losses, if any, come from the kernel).
@@ -152,6 +158,10 @@ class DeploymentCampaign:
             raise CollectionError(
                 f"unknown transport {self.config.transport!r} "
                 "(expected 'memory' or 'socket')")
+        if self.config.ingest_workers not in ("thread", "process"):
+            raise CollectionError(
+                f"unknown ingest_workers {self.config.ingest_workers!r} "
+                "(expected 'thread' or 'process')")
         if self.config.compare_backend not in ("bitparallel", "reference"):
             raise CollectionError(
                 f"unknown compare_backend {self.config.compare_backend!r} "
@@ -178,7 +188,8 @@ class DeploymentCampaign:
             self.channel = InMemoryChannel()
         if self.config.ingest_mode == "streaming":
             self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
-                                        persist_raw=self.config.keep_raw_messages)
+                                        persist_raw=self.config.keep_raw_messages,
+                                        workers=self.config.ingest_workers)
             self.ingest.attach(self.channel)
         else:
             self.receiver = MessageReceiver(self.store)
@@ -219,6 +230,10 @@ class DeploymentCampaign:
                 self.receiver.flush()
                 consolidator = Consolidator(self.store)
                 records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
+        except BaseException:
+            if self.ingest is not None:
+                self.ingest.close()  # stop any process shard workers
+            raise
         finally:
             if isinstance(self.channel, SocketChannel):
                 self.channel.close()

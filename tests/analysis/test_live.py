@@ -287,16 +287,19 @@ class TestCampaignLiveEquivalence:
         if live_t7 != fresh_t7:
             failures.append("table7")
 
-    @pytest.mark.parametrize("seed,loss_rate,shards", [
-        (17, 0.0, 1),
-        (17, 0.01, 2),
-        (23, 0.0002, 1),
+    @pytest.mark.parametrize("seed,loss_rate,shards,workers", [
+        (17, 0.0, 1, "thread"),
+        (17, 0.01, 2, "thread"),
+        (23, 0.0002, 1, "thread"),
+        # process-parallel shards: live views pull the same delta stream,
+        # now fed by merge-at-snapshot from OS worker processes
+        (17, 0.01, 2, "process"),
     ])
     def test_streaming_campaign_live_matches_rebuild_at_every_job(
-            self, seed, loss_rate, shards):
+            self, seed, loss_rate, shards, workers):
         config = CampaignConfig(scale=0.0, seed=seed, loss_rate=loss_rate,
                                 ingest_mode="streaming", ingest_shards=shards,
-                                keep_raw_messages=False)
+                                ingest_workers=workers, keep_raw_messages=False)
         campaign = DeploymentCampaign(config=config, profiles=self.PROFILES)
         live = campaign.live_analysis()
         failures: list[str] = []

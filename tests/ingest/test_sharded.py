@@ -1,12 +1,16 @@
-"""Tests for the sharded streaming-ingest front."""
+"""Tests for the sharded streaming-ingest front (thread and process workers)."""
+
+import multiprocessing
+import time
 
 import pytest
 
 from repro.collector.records import InfoType, Layer
 from repro.db.store import MessageStore
-from repro.ingest import ShardedIngest, shard_of
+from repro.ingest import ShardedIngest, shard_of, shard_of_datagram
 from repro.transport.messages import UDPMessage
 from repro.util.errors import TransportError
+from repro.workload import CampaignConfig, DeploymentCampaign
 
 
 def _record_set(records):
@@ -17,6 +21,12 @@ def _record_set(records):
 def _message(pid: int, info_type: InfoType = InfoType.PROCINFO) -> UDPMessage:
     return UDPMessage(jobid="1", stepid="0", pid=pid, path_hash=f"{pid:032x}", host="n1",
                       time=100, layer=Layer.SELF, info_type=info_type, content="x")
+
+
+def _shard_worker_children():
+    """Live shard-worker children (ignores unrelated pools, e.g. hashing)."""
+    return [process for process in multiprocessing.active_children()
+            if process.name.startswith("siren-shard-")]
 
 
 class TestShardRouting:
@@ -36,6 +46,54 @@ class TestShardRouting:
         with pytest.raises(TransportError):
             ShardedIngest(MessageStore(), shards=0)
 
+    def test_worker_backend_validated(self):
+        with pytest.raises(TransportError):
+            ShardedIngest(MessageStore(), shards=2, workers="fiber")
+
+    def test_raw_datagram_routing_matches_decoded_routing(self):
+        # The raw header slice is byte-identical to the key shard_of hashes,
+        # so process-mode routing agrees with thread-mode routing exactly.
+        for pid in range(100):
+            for info_type in (InfoType.PROCINFO, InfoType.PROCEND):
+                message = _message(pid, info_type)
+                for shards in (1, 2, 4, 7):
+                    assert shard_of_datagram(message.encode(), shards) == \
+                        shard_of(message, shards)
+
+    def test_raw_routing_screens_malformed_headers(self):
+        assert shard_of_datagram(b"garbage", 4) is None
+        assert shard_of_datagram(b"SIREN1\x1fonly\x1fthree\x1ffields", 4) is None
+        assert shard_of_datagram("SIREN2\x1f".encode() + _message(1).encode()[7:], 4) is None
+
+
+class TestShardKeyDistribution:
+    """Guard against a degenerate FNV partition silently serializing the fleet."""
+
+    @pytest.fixture(scope="class")
+    def campaign_datagrams(self) -> list[bytes]:
+        campaign = DeploymentCampaign(config=CampaignConfig(
+            scale=0.01, seed=101, loss_rate=0.0, ingest_mode="streaming",
+            keep_raw_messages=False))
+        campaign.prepare()
+        captured: list[bytes] = []
+        campaign.channel.subscribe(captured.append)
+        campaign.run()
+        assert len(captured) > 10_000
+        return captured
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    def test_no_shard_receives_more_than_twice_the_mean(self, campaign_datagrams,
+                                                        shards):
+        counts = [0] * shards
+        for datagram in campaign_datagrams:
+            shard = shard_of_datagram(datagram, shards)
+            assert shard is not None
+            counts[shard] += 1
+        mean = len(campaign_datagrams) / shards
+        assert min(counts) > 0, f"idle shard in {counts}"
+        assert max(counts) <= 2 * mean, (
+            f"degenerate FNV partition: shard loads {counts} vs mean {mean:.0f}")
+
 
 class TestShardedIngestFront:
     def test_decode_errors_counted_at_front(self):
@@ -46,8 +104,9 @@ class TestShardedIngestFront:
         assert front.decode_errors == 1
         assert front.messages_received == 1
 
-    def test_counters_merge_across_shards(self):
-        front = ShardedIngest(MessageStore(), shards=3, batch_size=4)
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_counters_merge_across_shards(self, workers):
+        front = ShardedIngest(MessageStore(), shards=3, batch_size=4, workers=workers)
         for pid in range(30):
             front.handle_datagram(_message(pid).encode())
             front.handle_datagram(_message(pid, InfoType.FILEMETA).encode())
@@ -60,19 +119,27 @@ class TestShardedIngestFront:
         assert stats["shards"] == 3
         assert stats["records_built"] == 30
         assert stats["messages_consumed"] == 90
-        # Every shard actually participated.
+
+    def test_every_thread_shard_participates(self):
+        front = ShardedIngest(MessageStore(), shards=3, batch_size=4)
+        for pid in range(30):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        front.finalize()
         assert all(c.records_built > 0 for c in front.consolidators)
 
-    def test_results_in_canonical_key_order(self):
-        front = ShardedIngest(MessageStore(), shards=4)
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_results_in_canonical_key_order(self, workers):
+        front = ShardedIngest(MessageStore(), shards=4, workers=workers)
         for pid in (44, 7, 190, 23):
             front.handle_datagram(_message(pid).encode())
             front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
         records = front.finalize()
         assert [record.pid for record in records] == [7, 23, 44, 190]
 
-    def test_snapshot_delta_streams_each_record_once(self):
-        front = ShardedIngest(MessageStore(), shards=2)
+    @pytest.mark.parametrize("workers", ["thread", "process"])
+    def test_snapshot_delta_streams_each_record_once(self, workers):
+        front = ShardedIngest(MessageStore(), shards=2, workers=workers)
         for pid in range(4):
             front.handle_datagram(_message(pid).encode())
             front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
@@ -92,6 +159,59 @@ class TestShardedIngestFront:
         snapshot_pids = {r.pid for r in front.snapshot()}
         delta_pids = {r.pid for r in first.new_records + second.new_records}
         assert delta_pids | {99} == snapshot_pids
+        front.finalize()
+
+    def test_process_mode_persists_raw_messages_when_asked(self):
+        store = MessageStore()
+        front = ShardedIngest(store, shards=2, batch_size=8, workers="process",
+                              persist_raw=True)
+        for pid in range(10):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        front.finalize()
+        assert store.message_count() == 20
+        assert store.process_count() == 10
+
+
+class TestProcessWorkerLifecycle:
+    def test_finalize_joins_all_workers_and_leaves_no_children(self):
+        front = ShardedIngest(MessageStore(), shards=3, batch_size=8,
+                              workers="process")
+        for pid in range(24):
+            front.handle_datagram(_message(pid).encode())
+            front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+        records = front.finalize()
+        assert len(records) == 24
+        assert front._pool.alive_workers() == []
+        assert all(process.exitcode == 0 for process in front._pool.processes)
+        assert _shard_worker_children() == []
+        # finalize is idempotent once the workers are gone
+        assert len(front.finalize()) == 24
+
+    def test_killed_worker_surfaces_transport_error_not_a_hang(self):
+        front = ShardedIngest(MessageStore(), shards=2, batch_size=8,
+                              workers="process")
+        for pid in range(20):
+            front.handle_datagram(_message(pid).encode())
+        front._pool.processes[0].kill()
+        deadline = time.monotonic() + 30
+        with pytest.raises(TransportError, match="shard 0 worker died"):
+            while True:  # replay continues until the front notices the crash
+                assert time.monotonic() < deadline, "crash was never surfaced"
+                for pid in range(20, 40):
+                    front.handle_datagram(_message(pid).encode())
+                    front.handle_datagram(_message(pid, InfoType.PROCEND).encode())
+                front.finalize()
+        # the failure tore the whole pool down -- no orphaned children
+        assert front._pool.alive_workers() == []
+        assert _shard_worker_children() == []
+
+    def test_close_aborts_workers_without_final_merge(self):
+        front = ShardedIngest(MessageStore(), shards=2, workers="process")
+        front.handle_datagram(_message(1).encode())
+        front.close()
+        assert front._pool.alive_workers() == []
+        assert _shard_worker_children() == []
 
 
 class TestShardedEqualsBatch:
@@ -120,3 +240,62 @@ class TestShardedEqualsBatch:
             harness.workload.emit_campaign(processes=60)
             outputs[shards] = _record_set(front.finalize())
         assert outputs[1] == outputs[2] == outputs[5]
+
+
+class TestProcessEqualsThreadEqualsBatch:
+    """The tentpole pin: all three ingest paths, one datagram stream.
+
+    Process-parallel ingest must be record-for-record *and*
+    counter-for-counter identical to thread-mode sharding and to the batch
+    post-pass, across seeds, loss rates up to 50% and shard counts -- the
+    same partition function routes both modes, the per-shard batch
+    boundaries (and therefore the idle-close epoch clocks) coincide, so
+    even the early-vs-idle close split must agree exactly.
+    """
+
+    @pytest.mark.parametrize("seed", [5, 11])
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.05, 0.5])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_dual_ingest_equivalence(self, dual_ingest, seed, loss_rate, shards):
+        harness = dual_ingest(loss_rate=loss_rate, seed=seed)
+        thread_front = ShardedIngest(MessageStore(), shards=shards, batch_size=16,
+                                     flush_batch_size=8)
+        process_store = MessageStore()
+        process_front = ShardedIngest(process_store, shards=shards, batch_size=16,
+                                      flush_batch_size=8, workers="process")
+        thread_front.attach(harness.channel)
+        process_front.attach(harness.channel)
+
+        harness.workload.emit_campaign(processes=60)
+
+        batch = harness.batch_records()
+        threaded = thread_front.finalize()
+        processed = process_front.finalize()
+        assert _record_set(processed) == _record_set(threaded) == _record_set(batch)
+        assert _record_set(process_store.load_processes()) == _record_set(batch)
+        assert process_front.statistics() == thread_front.statistics()
+
+    def test_mid_stream_snapshots_do_not_disturb_equivalence(self, dual_ingest):
+        harness = dual_ingest(loss_rate=0.02, seed=3)
+        front = ShardedIngest(MessageStore(), shards=2, batch_size=16,
+                              flush_batch_size=8, workers="process")
+        front.attach(harness.channel)
+        cursor = 0
+        seen_keys: set = set()
+        for pid in range(50):
+            harness.workload.emit_process(pid, time=100 + pid // 10)
+            if pid % 10 == 9:
+                delta = front.snapshot_delta(cursor)
+                cursor = delta.cursor
+                fresh = {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                         for r in delta.new_records}
+                assert not (fresh & seen_keys), "delta re-delivered a record"
+                seen_keys |= fresh
+                front.snapshot()  # full snapshot interleaves harmlessly
+        harness.workload.end_all()
+        final = front.finalize()
+        assert _record_set(final) == _record_set(harness.batch_records())
+        # every record was announced by exactly one delta or the final close
+        final_keys = {(r.jobid, r.stepid, r.pid, r.hash, r.host, r.time)
+                      for r in final}
+        assert seen_keys <= final_keys
