@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
+from repro.faults.plan import FaultPlan
 from repro.transport.messages import MAX_DATAGRAM_SIZE
 
 
@@ -76,6 +77,24 @@ class SirenConfig:
         sockets are released by
         :meth:`~repro.core.framework.SirenFramework.close`.  Mirrors
         :attr:`~repro.workload.campaign.CampaignConfig.transport`.
+    ingest_max_restarts:
+        Supervised restarts allowed per shard worker before a crashed or
+        stalled worker surfaces as
+        :class:`~repro.util.errors.WorkerCrashError`
+        (``ingest_workers="process"`` only; 0 restores fail-fast).
+    store_retry_attempts:
+        Retries of a store write transaction on *transient* SQLite errors
+        (``database is locked`` / ``busy``), with exponential jittered
+        backoff; non-transient errors always propagate immediately.
+    quarantine_capacity:
+        Bounded ring of the most recent undecodable datagrams (raw bytes +
+        failure reason) kept for forensics; 0 disables the quarantine.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` arming deterministic
+        fault injection: channel faults wrap the in-memory channel
+        (``transport="memory"`` only), store faults hook the shared store's
+        write paths, worker faults ride into the process-mode shard workers.
+        ``None`` (default) injects nothing.
     """
 
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
@@ -92,3 +111,7 @@ class SirenConfig:
     ingest_workers: str = "thread"
     keep_raw_messages: bool = True
     transport: str = "memory"
+    ingest_max_restarts: int = 2
+    store_retry_attempts: int = 4
+    quarantine_capacity: int = 256
+    fault_plan: FaultPlan | None = None

@@ -34,13 +34,16 @@ from repro.collector.hooks import SirenCollector
 from repro.core.config import SirenConfig
 from repro.core.pipeline import AnalysisPipeline
 from repro.db.store import MessageStore, ProcessRecord
+from repro.faults.channel import FaultyChannel
+from repro.faults.store import StoreFaultInjector
 from repro.hpcsim.cluster import Cluster
 from repro.ingest.sharded import ProcessDelta, ShardedIngest
 from repro.postprocess.consolidate import Consolidator
 from repro.transport.channel import InMemoryChannel, LossyChannel, SocketChannel
-from repro.transport.receiver import MessageReceiver
+from repro.transport.receiver import DatagramQuarantine, MessageReceiver
 from repro.transport.sender import UDPSender
 from repro.util.errors import CollectionError
+from repro.util.retry import RetryPolicy
 from repro.util.rng import SeededRNG
 
 
@@ -51,6 +54,10 @@ class SirenFramework:
     config: SirenConfig = field(default_factory=SirenConfig)
     store: MessageStore = field(init=False)
     channel: LossyChannel | InMemoryChannel | SocketChannel = field(init=False)
+    #: fault-injection decorator around :attr:`channel` when the config's
+    #: ``fault_plan`` has active channel faults (memory transport only)
+    faulty_channel: FaultyChannel | None = field(init=False, default=None)
+    store_fault_injector: StoreFaultInjector | None = field(init=False, default=None)
     receiver: MessageReceiver | None = field(init=False, default=None)
     ingest: ShardedIngest | None = field(init=False, default=None)
     sender: UDPSender = field(init=False)
@@ -74,7 +81,12 @@ class SirenFramework:
             raise CollectionError(
                 f"unknown compare_backend {self.config.compare_backend!r} "
                 "(expected 'bitparallel' or 'reference')")
-        self.store = MessageStore(self.config.store_path)
+        plan = self.config.fault_plan
+        self.store = MessageStore(
+            self.config.store_path,
+            retry=RetryPolicy(attempts=self.config.store_retry_attempts))
+        if plan is not None and plan.store.active:
+            self.store_fault_injector = StoreFaultInjector(plan).install(self.store)
         if self.config.transport == "socket":
             self.channel = SocketChannel()
         elif self.config.loss_rate > 0:
@@ -82,15 +94,27 @@ class SirenFramework:
                                         rng=SeededRNG(self.config.rng_seed))
         else:
             self.channel = InMemoryChannel()
+        if plan is not None and plan.channel.active:
+            if self.config.transport != "memory":
+                raise CollectionError(
+                    "channel fault injection requires transport='memory' "
+                    "(a socket channel has its own, real faults)")
+            self.faulty_channel = FaultyChannel(plan=plan, inner=self.channel)
         if self.config.ingest_mode == "streaming":
             self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
                                         persist_raw=self.config.keep_raw_messages,
-                                        workers=self.config.ingest_workers)
+                                        workers=self.config.ingest_workers,
+                                        max_restarts=self.config.ingest_max_restarts,
+                                        quarantine_capacity=self.config.quarantine_capacity,
+                                        fault_plan=plan)
             self.ingest.attach(self.channel)
         else:
-            self.receiver = MessageReceiver(self.store)
+            quarantine = (DatagramQuarantine(capacity=self.config.quarantine_capacity)
+                          if self.config.quarantine_capacity else None)
+            self.receiver = MessageReceiver(self.store, quarantine=quarantine)
             self.receiver.attach(self.channel)
-        self.sender = UDPSender(self.channel, max_datagram_size=self.config.max_datagram_size)
+        self.sender = UDPSender(self.faulty_channel or self.channel,
+                                max_datagram_size=self.config.max_datagram_size)
 
     # ------------------------------------------------------------------ #
     # deployment
@@ -180,6 +204,10 @@ class SirenFramework:
         :meth:`consolidate`/:meth:`snapshot` calls never clear, whatever
         the knob says -- a batch post-pass may still need the messages).
         """
+        if self.faulty_channel is not None:
+            # End of stream: the injected network finally delivers whatever
+            # reordering/jitter was still holding back.
+            self.faulty_channel.flush()
         if self.ingest is not None:
             self._drain_socket()
             records = self.ingest.finalize()
@@ -250,17 +278,25 @@ class SirenFramework:
             ingest_stats = self.ingest.statistics()
             stats["messages_received"] = self.ingest.messages_received
             stats["decode_errors"] = self.ingest.decode_errors
+            stats["quarantined"] = self.ingest.quarantined
             for name in ("records_built", "incomplete_records", "early_finalized",
                          "idle_closed", "late_messages", "open_processes",
-                         "peak_open_processes"):
+                         "peak_open_processes", "worker_restarts",
+                         "restart_lost_groups", "restart_lost_datagrams"):
                 stats[f"ingest_{name}"] = ingest_stats[name]
         else:
             assert self.receiver is not None
             stats["messages_received"] = self.receiver.messages_received
             stats["decode_errors"] = self.receiver.decode_errors
+            stats["quarantined"] = (len(self.receiver.quarantine)
+                                    if self.receiver.quarantine is not None else 0)
+        stats["store_write_retries"] = self.store.write_retries
         if isinstance(self.channel, LossyChannel):
             stats["datagrams_dropped"] = self.channel.datagrams_dropped
             stats["observed_loss_rate"] = self.channel.observed_loss_rate
+        if self.faulty_channel is not None:
+            for name, value in self.faulty_channel.fault_counters().items():
+                stats[f"fault_{name}"] = value
         if self.collector is not None:
             stats["processes_collected"] = self.collector.processes_collected
             stats["processes_skipped"] = self.collector.processes_skipped

@@ -4,16 +4,40 @@ The store is intentionally close to the paper's description: one table of raw
 UDP messages keyed by the header columns, and (after post-processing) one
 table with a single consolidated row per process.  An in-memory database is
 the default; pass a path to persist to disk.
+
+Write paths retry transient SQLite failures (``database is locked`` /
+``database table is locked`` / busy-style :class:`sqlite3.OperationalError`)
+with jittered exponential backoff, so a WAL store shared with concurrent
+readers survives lock contention instead of aborting consolidation; the
+budget is configurable through :class:`~repro.util.retry.RetryPolicy` and
+non-transient errors (disk full, corrupt database) still fail fast.  The
+``fault_injector`` hook lets the chaos layer (:mod:`repro.faults`) inject
+deterministic store faults without patching SQLite itself.
 """
 
 from __future__ import annotations
 
+import random
 import sqlite3
+import time
 from dataclasses import dataclass, fields
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.db.schema import MESSAGES_SCHEMA, PROCESSES_SCHEMA
 from repro.transport.messages import UDPMessage
+from repro.util.retry import RetryPolicy
+
+#: Substrings marking an :class:`sqlite3.OperationalError` as transient --
+#: lock/busy contention clears on its own, so a bounded retry is the right
+#: response; anything else ("disk is full", "database disk image is
+#: malformed", ...) will not heal by waiting and fails fast.
+_TRANSIENT_MARKERS = ("locked", "busy")
+
+
+def is_transient_sqlite_error(error: sqlite3.OperationalError) -> bool:
+    """Whether the error is contention that a bounded retry can outwait."""
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
 
 
 @dataclass
@@ -79,10 +103,32 @@ _PROCESS_FIELDS = [f.name for f in fields(ProcessRecord)]
 
 
 class MessageStore:
-    """SQLite wrapper holding the ``messages`` and ``processes`` tables."""
+    """SQLite wrapper holding the ``messages`` and ``processes`` tables.
 
-    def __init__(self, path: str = ":memory:") -> None:
+    Parameters
+    ----------
+    path:
+        SQLite path; ``":memory:"`` keeps everything in RAM.
+    retry:
+        Backoff budget applied to every write path when a *transient*
+        :class:`sqlite3.OperationalError` (lock/busy contention) strikes.
+        Retries count into :attr:`write_retries`; exhausting the budget (or
+        hitting a non-transient error such as disk-full) re-raises the
+        original SQLite error.
+    """
+
+    def __init__(self, path: str = ":memory:", *,
+                 retry: RetryPolicy | None = None) -> None:
         self.path = path
+        self.retry = RetryPolicy() if retry is None else retry
+        #: Transient write failures retried so far (visible in statistics).
+        self.write_retries = 0
+        #: Chaos hook (:mod:`repro.faults`): called with the operation name
+        #: before every write transaction; an :class:`sqlite3.OperationalError`
+        #: it raises goes through exactly the retry path a real one would.
+        self.fault_injector: Callable[[str], None] | None = None
+        self._sleep = time.sleep          # injectable for tests
+        self._retry_rng = random.Random(0xC0FFEE)  # jitter only; not output-visible
         self.connection = sqlite3.connect(path)
         if path == ":memory:":
             # Nothing to make crash-safe: trade all durability for speed.
@@ -119,6 +165,32 @@ class MessageStore:
                 )
 
     # ------------------------------------------------------------------ #
+    # fault-tolerant write primitive
+    # ------------------------------------------------------------------ #
+    def _write(self, operation: str, transaction: Callable[[], None]) -> None:
+        """Run one write transaction, retrying transient SQLite failures.
+
+        ``transaction`` executes inside ``with self.connection`` so a failed
+        attempt rolls back cleanly before the retry; the sleep between
+        attempts grows exponentially with deterministic jitter (see
+        :class:`~repro.util.retry.RetryPolicy`).
+        """
+        attempt = 0
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector(operation)
+                with self.connection:
+                    transaction()
+                return
+            except sqlite3.OperationalError as error:
+                if not is_transient_sqlite_error(error) or attempt >= self.retry.attempts:
+                    raise
+                self.write_retries += 1
+                self._sleep(self.retry.delay(attempt, self._retry_rng))
+                attempt += 1
+
+    # ------------------------------------------------------------------ #
     # raw messages
     # ------------------------------------------------------------------ #
     def insert(self, message: UDPMessage) -> None:
@@ -135,12 +207,11 @@ class MessageStore:
             )
             for message in messages
         ]
-        with self.connection:
-            self.connection.executemany(
-                "INSERT INTO messages (jobid, stepid, pid, hash, host, time, layer, type,"
-                " chunk_index, chunk_total, content) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
-                rows,
-            )
+        self._write("insert_messages", lambda: self.connection.executemany(
+            "INSERT INTO messages (jobid, stepid, pid, hash, host, time, layer, type,"
+            " chunk_index, chunk_total, content) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+            rows,
+        ))
         return len(rows)
 
     def message_count(self) -> int:
@@ -165,8 +236,8 @@ class MessageStore:
 
     def clear_messages(self) -> None:
         """Delete all raw messages (used after consolidation to save memory)."""
-        with self.connection:
-            self.connection.execute("DELETE FROM messages")
+        self._write("clear_messages",
+                    lambda: self.connection.execute("DELETE FROM messages"))
 
     # ------------------------------------------------------------------ #
     # consolidated processes
@@ -208,10 +279,9 @@ class MessageStore:
         columns = ", ".join(_PROCESS_FIELDS)
         placeholders = ", ".join("?" for _ in _PROCESS_FIELDS)
         rows = [tuple(getattr(record, name) for name in _PROCESS_FIELDS) for record in records]
-        with self.connection:
-            self.connection.executemany(
-                f"{verb} INTO processes ({columns}) VALUES ({placeholders})", rows
-            )
+        self._write("insert_processes", lambda: self.connection.executemany(
+            f"{verb} INTO processes ({columns}) VALUES ({placeholders})", rows
+        ))
         return len(rows)
 
     def process_count(self) -> int:

@@ -27,15 +27,54 @@ thread-mode semantics: finalized records live in the shared ``processes``
 table, the rowid delta cursor stays monotonic and exactly-once, and open
 groups are non-destructive peeks (returned with each sync reply).
 
+Self-healing supervision
+------------------------
+A long-lived ingest front cannot treat a crashed worker as a reason to tear
+the deployment down.  The pool therefore *supervises* its workers:
+
+* **resend buffer**: every shipped batch is also kept in a per-shard
+  ``unacked`` list until a sync reply acknowledges it (the FIFO feed queue
+  makes one reply an ack for everything shipped before the marker).  The
+  buffer is bounded by ``resend_window`` batches; overflow evicts the oldest
+  batch and is *counted*, because it punches a hole in what a restart can
+  recover.
+* **restart with bounded retries and backoff**: when a worker dies (or
+  stalls past ``stall_timeout`` -- it is then killed), the supervisor spawns
+  a fresh worker after an exponentially backed-off, jittered delay
+  (:class:`~repro.util.retry.RetryPolicy`), replays the unacked batches in
+  their original order, and re-issues any outstanding sync marker.  Records
+  merged into the shared store before the crash survive by construction
+  (re-seeding is implicit: the shared store is the checkpoint, and the
+  store's first-close-wins insert makes a replayed re-finalization a no-op).
+  Once a shard exhausts ``max_restarts``, the pool tears down and raises
+  :class:`~repro.util.errors.WorkerCrashError` -- never a hang.
+* **honest loss accounting**: a crash loses exactly (a) the messages of
+  groups that were still *open* at the last acked sync (their pre-ack
+  datagrams were consumed and are no longer in the resend buffer) and (b)
+  any batches evicted from the bounded resend window since that ack.  Both
+  are surfaced per shard (``restart_lost_groups`` /
+  ``restart_lost_datagrams`` in the merged statistics): when both are zero,
+  the replay window covered the crash and the record output is identical to
+  an uncrashed run -- the chaos suite pins exactly that.
+
+Counters survive restarts: acked counter totals are folded into a per-shard
+base before each respawn, so ``messages_received`` and the consolidator
+statistics stay exactly-once across incarnations (replayed datagrams are
+counted by exactly one incarnation's acked report).
+
+Deterministic worker faults (:class:`~repro.faults.plan.WorkerFaultProfile`)
+ride into the worker at spawn: the worker hard-exits or stalls itself at a
+configured batch count, which is how the chaos suite and the degradation
+bench kill shards mid-replay reproducibly.
+
 Failure semantics
 -----------------
 Queues are bounded (``queue_depth`` batches per worker), so a dead worker
 cannot make the front buffer unboundedly: every blocking interaction --
 feeding a full queue, awaiting a sync reply -- polls worker liveness and
-raises :class:`~repro.util.errors.TransportError` with the shard index and
-exit code instead of hanging.  On such a failure the whole pool is torn down
-(no orphaned children); records already merged into the shared store
-survive, anything still inside the dead worker is reported lost.  Workers
+enters the supervision path above instead of hanging.  On final failure the
+whole pool is torn down (no orphaned children); records already merged into
+the shared store survive, and the loss counters say what did not.  Workers
 are daemonic as a last-resort backstop: an abandoned, unfinalized front
 cannot keep the interpreter alive.
 """
@@ -43,14 +82,19 @@ cannot keep the interpreter alive.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import random
 import time
 from dataclasses import dataclass, field
 from queue import Empty, Full
 
 from repro.db.store import MessageStore, ProcessRecord
+from repro.faults.plan import WorkerFaultProfile
 from repro.ingest.incremental import IncrementalConsolidator
 from repro.transport.messages import UDPMessage
-from repro.util.errors import TransportError
+from repro.transport.receiver import DatagramQuarantine, QuarantinedDatagram
+from repro.util.errors import IngestError, TransportError, WorkerCrashError
+from repro.util.retry import RetryPolicy
 
 #: Bounded feed-queue depth, in batches: a worker can fall at most this many
 #: batches (``queue_depth * batch_size`` datagrams) behind the front before
@@ -58,6 +102,21 @@ from repro.util.errors import TransportError
 #: point -- an unbounded queue would let a crashed worker absorb the whole
 #: campaign silently.
 DEFAULT_QUEUE_DEPTH = 8
+
+#: Bounded resend-buffer depth, in batches, per shard.  Batches older than
+#: this (and not yet acked by a sync) are evicted and counted: a restart can
+#: no longer replay them, so the equivalence guarantee narrows honestly.
+DEFAULT_RESEND_WINDOW = 256
+
+#: Exit code a worker uses when an injected fault hard-kills it; chosen to
+#: be recognisable in diagnostics (and distinct from signal exits).
+FAULT_EXIT_CODE = 113
+
+#: Default backoff between supervised worker restarts: 2 restarts, 50 ms
+#: doubling to a 1 s cap, +-50% jitter so a fleet of shards never restarts
+#: in lockstep.
+DEFAULT_RESTART_BACKOFF = RetryPolicy(attempts=2, base_delay=0.05,
+                                      growth=2.0, max_delay=1.0, jitter=0.5)
 
 #: Seconds a queue interaction waits between worker-liveness probes.
 _POLL_INTERVAL = 0.2
@@ -77,16 +136,26 @@ class ShardReport:
     statistics: dict                         #: the consolidator's counters
     messages_received: int                   #: decoded messages consumed so far
     decode_errors: int                       #: undecodable datagrams so far
+    quarantined: tuple[QuarantinedDatagram, ...] = ()  #: captures since last report
 
 
-def _shard_worker_main(feed, replies, flush_batch_size: int, idle_epochs: int) -> None:
+def _shard_worker_main(feed, replies, flush_batch_size: int, idle_epochs: int,
+                       quarantine_capacity: int = 0,
+                       fault: WorkerFaultProfile | None = None) -> None:
     """One shard worker: private store + consolidator over a raw-datagram feed.
 
     Commands (FIFO): ``("batch", [datagram, ...])`` decodes and consumes one
     receiver batch (one epoch tick, like a receiver flush); ``("sync", id)``
     flushes and reports; ``("close", id)`` closes every open group, reports,
     and exits.  Decode errors are counted here (the front routes raw bytes)
-    and shipped back with every report.
+    and shipped back with every report; with ``quarantine_capacity > 0`` the
+    raw bytes and failure reason of each corrupt datagram ride back too.
+
+    A :class:`WorkerFaultProfile` makes the worker sabotage itself
+    deterministically: ``os._exit`` (indistinguishable from SIGKILL to the
+    front) or a stall just *before* consuming the configured batch -- so the
+    datagrams of that batch genuinely die with the worker and only the
+    front's resend buffer can bring them back.
     """
     store = MessageStore()
     consolidator = IncrementalConsolidator(
@@ -94,15 +163,30 @@ def _shard_worker_main(feed, replies, flush_batch_size: int, idle_epochs: int) -
     messages_received = 0
     decode_errors = 0
     cursor = 0
+    batches_seen = 0
+    stalled_once = False
+    pending_quarantine: list[QuarantinedDatagram] = []
     while True:
         command, payload = feed.get()
         if command == "batch":
+            batches_seen += 1
+            if fault is not None:
+                if (fault.kill_after_batches is not None
+                        and batches_seen >= fault.kill_after_batches):
+                    os._exit(FAULT_EXIT_CODE)
+                if (fault.stall_after_batches is not None and not stalled_once
+                        and batches_seen >= fault.stall_after_batches):
+                    stalled_once = True
+                    time.sleep(fault.stall_seconds)
             decoded = []
             for datagram in payload:
                 try:
                     decoded.append(UDPMessage.decode(datagram))
-                except TransportError:
+                except TransportError as error:
                     decode_errors += 1
+                    if quarantine_capacity and len(pending_quarantine) < quarantine_capacity:
+                        pending_quarantine.append(QuarantinedDatagram(
+                            datagram=bytes(datagram), reason=str(error)))
             if decoded:
                 # One shipped batch == one receiver flush: feed, then tick
                 # the idle-close epoch clock, exactly like thread mode.
@@ -124,7 +208,9 @@ def _shard_worker_main(feed, replies, flush_batch_size: int, idle_epochs: int) -
                 statistics=consolidator.statistics(),
                 messages_received=messages_received,
                 decode_errors=decode_errors,
+                quarantined=tuple(pending_quarantine),
             ))
+            pending_quarantine.clear()
             if command == "close":
                 return
 
@@ -137,46 +223,235 @@ def _context():
         return multiprocessing.get_context("spawn")
 
 
+def _merge_counters(base: dict, update: dict) -> dict:
+    """Key-wise sum of two counter dicts."""
+    merged = dict(base)
+    for name, value in update.items():
+        merged[name] = merged.get(name, 0) + value
+    return merged
+
+
 @dataclass
 class _WorkerHandle:
-    """The front's view of one shard worker."""
+    """The front's view of one shard worker (across restarts)."""
 
     index: int
-    process: multiprocessing.Process
-    feed: object       #: bounded command queue, front -> worker
-    replies: object    #: report queue, worker -> front
+    process: multiprocessing.Process | None = None
+    feed: object = None     #: bounded command queue, front -> worker
+    replies: object = None  #: report queue, worker -> front
     buffer: list[bytes] = field(default_factory=list)  #: pending raw datagrams
-    report: ShardReport | None = None                  #: last sync/close report
+    report: ShardReport | None = None                  #: last acked sync/close report
+
+    # --- supervision state -------------------------------------------- #
+    incarnation: int = 0     #: how many processes have served this shard (1-based)
+    restarts: int = 0        #: supervised restarts consumed so far
+    #: Batches shipped since the last acked sync, in ship order -- what a
+    #: restarted worker replays.
+    unacked: list = field(default_factory=list)
+    outstanding_sync: tuple | None = None  #: (command, sync_id) awaiting a reply
+    open_at_ack: int = 0     #: open groups reported by the last acked sync
+    replayed_batches: int = 0
+    resend_overflow_batches: int = 0
+    overflow_datagrams_since_ack: int = 0
+    lost_open_groups: int = 0   #: groups whose pre-ack messages died with a worker
+    lost_datagrams: int = 0     #: overflowed (unreplayable) datagrams lost to a crash
+
+    # --- exactly-once counters across incarnations -------------------- #
+    #: Acked totals of *dead* incarnations (folded in before each respawn).
+    base_messages: int = 0
+    base_decode: int = 0
+    base_stats: dict = field(default_factory=dict)
+    #: Merged totals as of the last ack (base + current incarnation).
+    total_messages: int = 0
+    total_decode: int = 0
+    total_stats: dict = field(default_factory=dict)
 
 
 class ProcessShardPool:
-    """N shard-worker processes behind partitioned, bounded feed queues."""
+    """N supervised shard-worker processes behind partitioned bounded queues.
+
+    Parameters
+    ----------
+    shards, batch_size, flush_batch_size, idle_epochs, queue_depth:
+        As before: the shard count, the front's ship granularity and the
+        workers' consolidator knobs.
+    max_restarts:
+        Supervised restarts allowed *per shard* before a dead/stalled worker
+        becomes :class:`WorkerCrashError` (0 restores fail-fast).
+    restart_backoff:
+        Delay schedule between restart attempts (exponential, jittered).
+    resend_window:
+        Resend-buffer bound per shard, in batches; see the module docstring.
+    stall_timeout:
+        Seconds of zero progress (full feed queue, or a sync reply that
+        never comes while the process is alive) before a worker is declared
+        stalled, killed and restarted.  ``None`` disables stall detection.
+    drain_grace:
+        Seconds to keep draining a dead worker's reply queue before
+        restarting it -- the final report may still be flushing through the
+        queue's feeder thread.  (A too-short grace is safe, just wasteful:
+        the unacked replay recomputes whatever the lost report carried.)
+    quarantine:
+        Optional shared :class:`DatagramQuarantine`: worker-side decode
+        failures ship their raw bytes + reason back with each sync report
+        and are merged here.
+    worker_faults:
+        Deterministic sabotage per shard index
+        (:class:`~repro.faults.plan.WorkerFaultProfile`); a profile with
+        ``repeat=False`` arms only the first incarnation, so the supervisor
+        demonstrably heals it.
+    """
 
     def __init__(self, shards: int, *, batch_size: int = 500,
                  flush_batch_size: int = 64, idle_epochs: int = 2,
-                 queue_depth: int = DEFAULT_QUEUE_DEPTH) -> None:
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 max_restarts: int = 2,
+                 restart_backoff: RetryPolicy = DEFAULT_RESTART_BACKOFF,
+                 resend_window: int = DEFAULT_RESEND_WINDOW,
+                 stall_timeout: float | None = 60.0,
+                 drain_grace: float = _DRAIN_GRACE,
+                 quarantine: DatagramQuarantine | None = None,
+                 worker_faults: dict[int, WorkerFaultProfile] | None = None) -> None:
+        if max_restarts < 0:
+            raise IngestError("max_restarts may not be negative")
+        if resend_window < 1:
+            raise IngestError("resend_window must be at least 1 batch")
         self.shards = shards
         self.batch_size = batch_size
+        self.flush_batch_size = flush_batch_size
+        self.idle_epochs = idle_epochs
+        self.queue_depth = queue_depth
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.resend_window = resend_window
+        self.stall_timeout = stall_timeout
+        self.drain_grace = drain_grace
+        self.quarantine = quarantine
+        self.worker_faults = dict(worker_faults or {})
         self.closed = False
+        #: the terminal supervisor failure, kept so it resurfaces on every
+        #: later interaction -- the original raise travels up a channel
+        #: delivery callback, and fire-and-forget senders swallow it there.
+        self.failure: WorkerCrashError | None = None
         self._sync_id = 0
-        context = _context()
+        self._context = _context()
+        self._backoff_rng = random.Random(0xBACC0FF)  # jitter only; not output-visible
         self._workers: list[_WorkerHandle] = []
         for index in range(shards):
-            feed = context.Queue(maxsize=queue_depth)
-            replies = context.Queue()
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(feed, replies, flush_batch_size, idle_epochs),
-                name=f"siren-shard-{index}", daemon=True)
-            process.start()
-            self._workers.append(_WorkerHandle(index=index, process=process,
-                                               feed=feed, replies=replies))
+            worker = _WorkerHandle(index=index)
+            self._spawn(worker)
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------ #
+    # spawning / supervision
+    # ------------------------------------------------------------------ #
+    def _spawn(self, worker: _WorkerHandle) -> None:
+        """Start a fresh process (and queues) for ``worker``'s shard."""
+        fault = self.worker_faults.get(worker.index)
+        if fault is not None and worker.incarnation > 0 and not fault.repeat:
+            fault = None  # one-shot faults arm only the first incarnation
+        worker.feed = self._context.Queue(maxsize=self.queue_depth)
+        worker.replies = self._context.Queue()
+        capacity = self.quarantine.capacity if self.quarantine is not None else 0
+        worker.incarnation += 1
+        worker.process = self._context.Process(
+            target=_shard_worker_main,
+            args=(worker.feed, worker.replies, self.flush_batch_size,
+                  self.idle_epochs, capacity, fault),
+            name=f"siren-shard-{worker.index}", daemon=True)
+        worker.process.start()
+
+    def _discard_queues(self, worker: _WorkerHandle) -> None:
+        """Release a dead incarnation's queues without blocking on them."""
+        for queue in (worker.feed, worker.replies):
+            if queue is None:
+                continue
+            queue.cancel_join_thread()
+            queue.close()
+
+    def _kill_worker(self, worker: _WorkerHandle) -> None:
+        """Forcibly end a stalled worker so the supervisor can respawn it."""
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=10)
+
+    def _revive(self, worker: _WorkerHandle, reason: str) -> None:
+        """Restart a dead worker, replaying its unacked batches.
+
+        Loops until a fresh incarnation survives the replay or the restart
+        budget is exhausted (then the pool tears down and
+        :class:`WorkerCrashError` propagates).  Each pass: account what this
+        crash irrecoverably lost, fold the dead incarnation's acked counters
+        into the shard's base (idempotent -- totals only move at an ack),
+        back off, respawn, replay.
+        """
+        while True:
+            if worker.restarts >= self.max_restarts:
+                self._fail(worker, reason)
+            # Honest loss accounting: pre-ack messages of groups still open
+            # at the last ack died with the worker (they are not in the
+            # resend buffer any more), as did any batches the bounded window
+            # already evicted.  Zero both => the replay window covers this
+            # crash and the healed output is identical to an uncrashed run.
+            worker.lost_open_groups += worker.open_at_ack
+            worker.lost_datagrams += worker.overflow_datagrams_since_ack
+            worker.open_at_ack = 0
+            worker.overflow_datagrams_since_ack = 0
+            worker.base_messages = worker.total_messages
+            worker.base_decode = worker.total_decode
+            worker.base_stats = dict(worker.total_stats)
+            self._discard_queues(worker)
+            delay = self.restart_backoff.delay(worker.restarts, self._backoff_rng)
+            if delay > 0:
+                time.sleep(delay)
+            worker.restarts += 1
+            self._spawn(worker)
+            replayed, reason = self._replay(worker)
+            if replayed:
+                return
+
+    def _replay(self, worker: _WorkerHandle) -> tuple[bool, str]:
+        """Re-feed a fresh incarnation everything not yet acked.
+
+        Returns ``(False, reason)`` if the new worker also died or stalled
+        mid-replay (the caller loops, burning another restart).
+        """
+        commands = [("batch", batch) for batch in worker.unacked]
+        if worker.outstanding_sync is not None:
+            commands.append(worker.outstanding_sync)
+        for command in commands:
+            delivered, reason = self._put_once(worker, command)
+            if not delivered:
+                return False, reason
+        worker.replayed_batches += len(worker.unacked)
+        return True, ""
+
+    def _fail(self, worker: _WorkerHandle, reason: str) -> None:
+        """Tear the pool down; the shard is beyond its restart budget.
+
+        The failure is remembered on the pool: the raise below may travel up
+        a channel delivery callback into a fire-and-forget sender that
+        swallows it, so every later interaction (another ``route``, the
+        final ``sync``/``close``) re-raises it instead of pretending the
+        pool merely closed.
+        """
+        self.terminate()
+        budget = (f"restart budget of {self.max_restarts} exhausted"
+                  if self.max_restarts else "supervised restart is disabled"
+                  " (max_restarts=0)")
+        self.failure = WorkerCrashError(
+            f"ingest shard {worker.index} {reason}; {budget} -- datagrams "
+            "outstanding on that shard since the last acknowledged sync are "
+            f"lost ({worker.lost_open_groups} group(s) already unrecoverable)")
+        raise self.failure
 
     # ------------------------------------------------------------------ #
     # feeding
     # ------------------------------------------------------------------ #
     def route(self, shard: int, datagram: bytes) -> None:
         """Buffer one raw datagram for ``shard``; ship on a full batch."""
+        if self.failure is not None:
+            raise self.failure
         worker = self._workers[shard]
         worker.buffer.append(datagram)
         if len(worker.buffer) >= self.batch_size:
@@ -193,19 +468,39 @@ class ProcessShardPool:
     def _ship(self, worker: _WorkerHandle) -> None:
         if not worker.buffer:
             return
-        self._put(worker, ("batch", worker.buffer))
+        batch = worker.buffer
         worker.buffer = []
+        self._put(worker, ("batch", batch))
+        worker.unacked.append(batch)
+        if len(worker.unacked) > self.resend_window:
+            evicted = worker.unacked.pop(0)
+            worker.resend_overflow_batches += 1
+            worker.overflow_datagrams_since_ack += len(evicted)
 
-    def _put(self, worker: _WorkerHandle, command: tuple) -> None:
-        """Enqueue with back-pressure, failing fast if the worker died."""
+    def _put_once(self, worker: _WorkerHandle, command: tuple) -> tuple[bool, str]:
+        """One enqueue attempt loop; reports death/stall instead of healing."""
+        waited = 0.0
         while True:
             if not worker.process.is_alive():
-                self._fail(worker)
+                return False, (f"worker died (exit code "
+                               f"{worker.process.exitcode})")
             try:
                 worker.feed.put(command, timeout=_POLL_INTERVAL)
-                return
+                return True, ""
             except Full:
-                continue
+                waited += _POLL_INTERVAL
+                if self.stall_timeout is not None and waited >= self.stall_timeout:
+                    self._kill_worker(worker)
+                    return False, (f"worker stalled (no progress on a full "
+                                   f"feed queue for {waited:.0f}s; killed)")
+
+    def _put(self, worker: _WorkerHandle, command: tuple) -> None:
+        """Enqueue with back-pressure, healing a dead/stalled worker."""
+        while True:
+            delivered, reason = self._put_once(worker, command)
+            if delivered:
+                return
+            self._revive(worker, reason)
 
     # ------------------------------------------------------------------ #
     # sync / close
@@ -226,7 +521,7 @@ class ProcessShardPool:
             worker.process.join(timeout=30)
             if worker.process.is_alive():  # pragma: no cover - defensive
                 self.terminate()
-                raise TransportError(
+                raise IngestError(
                     f"ingest shard {worker.index} worker failed to exit on close")
             worker.feed.close()
             worker.replies.close()
@@ -234,21 +529,27 @@ class ProcessShardPool:
         return new_records
 
     def _collect(self, command: str) -> list[ProcessRecord]:
+        if self.failure is not None:
+            raise self.failure
         if self.closed:
-            raise TransportError("the process shard pool is already closed")
+            raise IngestError("the process shard pool is already closed")
         self._sync_id += 1
         for worker in self._workers:
             self._ship(worker)
             self._put(worker, (command, self._sync_id))
+            # Registered only after a successful put: if the put itself had
+            # to revive the worker, the replay must not re-issue a marker
+            # that was never delivered (the loop above still delivers it).
+            worker.outstanding_sync = (command, self._sync_id)
         new_records: list[ProcessRecord] = []
         for worker in self._workers:
             report = self._await_report(worker)
-            worker.report = report
             new_records.extend(report.new_records)
         return new_records
 
     def _await_report(self, worker: _WorkerHandle) -> ShardReport:
         died_at: float | None = None
+        stalled_for = 0.0
         while True:
             try:
                 report = worker.replies.get(timeout=_POLL_INTERVAL)
@@ -259,20 +560,40 @@ class ProcessShardPool:
                     now = time.monotonic()
                     if died_at is None:
                         died_at = now
-                    elif now - died_at > _DRAIN_GRACE:
-                        self._fail(worker)
+                    elif now - died_at > self.drain_grace:
+                        self._revive(worker, (
+                            "worker died awaiting a sync reply (exit code "
+                            f"{worker.process.exitcode})"))
+                        died_at = None
+                        stalled_for = 0.0
+                else:
+                    died_at = None
+                    stalled_for += _POLL_INTERVAL
+                    if (self.stall_timeout is not None
+                            and stalled_for >= self.stall_timeout):
+                        self._kill_worker(worker)
+                        self._revive(worker, (
+                            "worker stalled (no sync reply for "
+                            f"{stalled_for:.0f}s; killed)"))
+                        stalled_for = 0.0
                 continue
             if report.sync_id == self._sync_id:
+                self._ack(worker, report)
                 return report
+            # Stale report from before a restart: ignore and keep waiting.
 
-    def _fail(self, worker: _WorkerHandle) -> None:
-        """Tear the pool down and surface a diagnostic for a dead worker."""
-        exitcode = worker.process.exitcode
-        self.terminate()
-        raise TransportError(
-            f"ingest shard {worker.index} worker died (exit code {exitcode}) "
-            "with datagrams outstanding -- records routed to that shard since "
-            "the last sync are lost; restart the ingest front")
+    def _ack(self, worker: _WorkerHandle, report: ShardReport) -> None:
+        """A sync reply arrived: release the resend buffer, fold counters."""
+        worker.report = report
+        worker.outstanding_sync = None
+        worker.unacked.clear()
+        worker.overflow_datagrams_since_ack = 0
+        worker.open_at_ack = len(report.open_records)
+        worker.total_messages = worker.base_messages + report.messages_received
+        worker.total_decode = worker.base_decode + report.decode_errors
+        worker.total_stats = _merge_counters(worker.base_stats, report.statistics)
+        if self.quarantine is not None and report.quarantined:
+            self.quarantine.extend(list(report.quarantined))
 
     def terminate(self) -> None:
         """Kill every worker and release the queues (error/abort path)."""
@@ -281,8 +602,7 @@ class ProcessShardPool:
                 worker.process.terminate()
         for worker in self._workers:
             worker.process.join(timeout=10)
-            worker.feed.close()
-            worker.replies.close()
+            self._discard_queues(worker)
         self.closed = True
 
     # ------------------------------------------------------------------ #
@@ -296,37 +616,51 @@ class ProcessShardPool:
 
     @property
     def messages_received(self) -> int:
-        """Messages decoded across all workers, as of the last sync."""
-        return sum(worker.report.messages_received for worker in self._workers
-                   if worker.report is not None)
+        """Messages decoded across all workers, as of the last sync.
+
+        Exactly-once across restarts: dead incarnations contribute their
+        last *acked* totals, the live incarnation re-counts the replay.
+        """
+        return sum(worker.total_messages for worker in self._workers)
 
     @property
     def decode_errors(self) -> int:
         """Worker-side decode errors, as of the last sync."""
-        return sum(worker.report.decode_errors for worker in self._workers
-                   if worker.report is not None)
+        return sum(worker.total_decode for worker in self._workers)
+
+    @property
+    def worker_restarts(self) -> int:
+        """Supervised restarts performed across all shards."""
+        return sum(worker.restarts for worker in self._workers)
 
     def merged_statistics(self) -> dict[str, int]:
         """Summed consolidator counters of all workers, as of the last sync."""
         merged: dict[str, int] = {}
         for worker in self._workers:
-            if worker.report is None:
-                continue
-            for name, value in worker.report.statistics.items():
-                merged[name] = merged.get(name, 0) + value
+            merged = _merge_counters(merged, worker.total_stats)
         return merged
 
     def stat_sum(self, name: str) -> int:
         """One summed consolidator counter (0 before the first sync)."""
-        return sum(worker.report.statistics.get(name, 0)
-                   for worker in self._workers if worker.report is not None)
+        return sum(worker.total_stats.get(name, 0) for worker in self._workers)
+
+    def restart_statistics(self) -> dict[str, int]:
+        """The supervisor's counters, merged across shards."""
+        return {
+            "worker_restarts": self.worker_restarts,
+            "restart_lost_groups": sum(w.lost_open_groups for w in self._workers),
+            "restart_lost_datagrams": sum(w.lost_datagrams for w in self._workers),
+            "resend_replayed_batches": sum(w.replayed_batches for w in self._workers),
+            "resend_overflow_batches": sum(w.resend_overflow_batches
+                                           for w in self._workers),
+        }
 
     # ------------------------------------------------------------------ #
     # introspection (tests, diagnostics)
     # ------------------------------------------------------------------ #
     @property
     def processes(self) -> list[multiprocessing.Process]:
-        """The worker processes, in shard order."""
+        """The (current) worker processes, in shard order."""
         return [worker.process for worker in self._workers]
 
     def alive_workers(self) -> list[int]:

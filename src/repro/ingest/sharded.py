@@ -36,12 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.db.store import MessageStore, ProcessRecord
+from repro.faults.plan import FaultPlan
 from repro.hashing.fnv import fnv1a_32
 from repro.ingest.incremental import IncrementalConsolidator
-from repro.ingest.procworkers import ProcessShardPool
+from repro.ingest.procworkers import DEFAULT_RESEND_WINDOW, ProcessShardPool
 from repro.transport.channel import Channel
 from repro.transport.messages import UDPMessage
-from repro.transport.receiver import MessageReceiver
+from repro.transport.receiver import DatagramQuarantine, MessageReceiver
 from repro.util.errors import TransportError
 
 #: Raw-datagram prefix of a SIREN message (protocol tag + field separator).
@@ -125,7 +126,23 @@ class ShardedIngest:
     decode datagrams itself to persist them, giving up most of the routing
     cheapness (pure streaming -- ``persist_raw=False`` -- is the fast path).
     A dead worker is detected at the next queue interaction or sync and
-    surfaces as :class:`TransportError` instead of a hang.
+    *healed*: the pool restarts it up to ``max_restarts`` times with
+    exponential backoff, replaying every batch not yet acknowledged by a
+    sync (a per-shard resend buffer of ``resend_window`` batches).  When the
+    replay window covers the crash, the record output is identical to an
+    uncrashed run; losses beyond it surface honestly in :meth:`statistics`
+    (``restart_lost_groups`` / ``restart_lost_datagrams``).  Past the
+    restart budget the crash surfaces as
+    :class:`~repro.util.errors.WorkerCrashError` instead of a hang
+    (``max_restarts=0`` restores fail-fast).
+
+    ``quarantine_capacity`` keeps the raw bytes and decode-failure reason of
+    the most recent undecodable datagrams in a bounded ring
+    (:class:`~repro.transport.receiver.DatagramQuarantine`) for forensics --
+    both front-screened and worker-side failures land there.  A
+    :class:`~repro.faults.plan.FaultPlan` arms deterministic worker faults
+    (kill/stall) in process mode; its channel and store profiles are applied
+    by the campaign layer, not here.
     """
 
     store: MessageStore
@@ -135,8 +152,14 @@ class ShardedIngest:
     idle_epochs: int = 2
     persist_raw: bool = False
     workers: str = "thread"
+    max_restarts: int = 2
+    resend_window: int = DEFAULT_RESEND_WINDOW
+    stall_timeout: float | None = 60.0
+    quarantine_capacity: int = 256
+    fault_plan: FaultPlan | None = None
     receivers: list[MessageReceiver] = field(init=False, default_factory=list)
     consolidators: list[IncrementalConsolidator] = field(init=False, default_factory=list)
+    quarantine: DatagramQuarantine | None = field(init=False, default=None)
     _front_decode_errors: int = field(init=False, default=0)
     _pool: ProcessShardPool | None = field(init=False, default=None)
     _raw_buffer: list[UDPMessage] = field(init=False, default_factory=list)
@@ -149,11 +172,24 @@ class ShardedIngest:
             raise TransportError(
                 f"unknown ingest workers {self.workers!r} "
                 "(expected 'thread' or 'process')")
+        if self.quarantine_capacity < 0:
+            raise TransportError("quarantine_capacity may not be negative")
+        if self.quarantine_capacity:
+            self.quarantine = DatagramQuarantine(capacity=self.quarantine_capacity)
         if self.workers == "process":
+            worker_faults = None
+            if self.fault_plan is not None and self.fault_plan.workers:
+                worker_faults = {profile.shard: profile
+                                 for profile in self.fault_plan.workers}
             self._pool = ProcessShardPool(
                 self.shards, batch_size=self.batch_size,
                 flush_batch_size=self.flush_batch_size,
-                idle_epochs=self.idle_epochs)
+                idle_epochs=self.idle_epochs,
+                max_restarts=self.max_restarts,
+                resend_window=self.resend_window,
+                stall_timeout=self.stall_timeout,
+                quarantine=self.quarantine,
+                worker_faults=worker_faults)
             return
         self.consolidators = [
             IncrementalConsolidator(self.store, flush_batch_size=self.flush_batch_size,
@@ -162,7 +198,7 @@ class ShardedIngest:
         ]
         self.receivers = [
             MessageReceiver(self.store, batch_size=self.batch_size, sink=consolidator,
-                            persist_raw=self.persist_raw)
+                            persist_raw=self.persist_raw, quarantine=self.quarantine)
             for consolidator in self.consolidators
         ]
 
@@ -183,12 +219,17 @@ class ShardedIngest:
             shard = shard_of_datagram(datagram, self.shards)
             if shard is None:
                 self._front_decode_errors += 1
+                if self.quarantine is not None:
+                    self.quarantine.capture(
+                        datagram, "datagram does not carry a SIREN header")
                 return
             if self.persist_raw:
                 try:
                     message = UDPMessage.decode(datagram)
-                except TransportError:
+                except TransportError as error:
                     self._front_decode_errors += 1
+                    if self.quarantine is not None:
+                        self.quarantine.capture(datagram, str(error))
                     return
                 self._raw_buffer.append(message)
                 if len(self._raw_buffer) >= self.batch_size:
@@ -197,8 +238,10 @@ class ShardedIngest:
             return
         try:
             message = UDPMessage.decode(datagram)
-        except TransportError:
+        except TransportError as error:
             self._front_decode_errors += 1
+            if self.quarantine is not None:
+                self.quarantine.capture(datagram, str(error))
             return
         shard = shard_of(message, self.shards) if self.shards > 1 else 0
         self.receivers[shard].handle_message(message)
@@ -354,21 +397,40 @@ class ShardedIngest:
             return self._pool.stat_sum("peak_open_processes")
         return sum(consolidator.peak_open_processes for consolidator in self.consolidators)
 
+    @property
+    def quarantined(self) -> int:
+        """Undecodable datagrams captured in the quarantine ring (0 when off)."""
+        return len(self.quarantine) if self.quarantine is not None else 0
+
+    @property
+    def worker_restarts(self) -> int:
+        """Supervised worker restarts so far (always 0 in thread mode)."""
+        return self._pool.worker_restarts if self._pool is not None else 0
+
     def statistics(self) -> dict[str, int]:
         """Merged operational counters of all shards plus the front.
 
         Counter-for-counter identical between worker backends after a sync
         point (the shard partition is the same FNV function either way); in
-        process mode the values are as of the last sync.
+        process mode the values are as of the last sync.  The resilience
+        counters (``worker_restarts``, ``restart_lost_groups``,
+        ``restart_lost_datagrams``, ``resend_replayed_batches``,
+        ``resend_overflow_batches``) are structurally zero in thread mode --
+        present so the two backends stay key-for-key comparable.
         """
         merged: dict[str, int] = {"shards": self.shards, "decode_errors": self.decode_errors,
-                                  "messages_received": self.messages_received}
+                                  "messages_received": self.messages_received,
+                                  "quarantined": self.quarantined}
         if self._pool is not None:
             for name, value in self._pool.merged_statistics().items():
                 merged[name] = merged.get(name, 0) + value
+            merged.update(self._pool.restart_statistics())
         else:
             for consolidator in self.consolidators:
                 for name, value in consolidator.statistics().items():
                     merged[name] = merged.get(name, 0) + value
+            merged.update({"worker_restarts": 0, "restart_lost_groups": 0,
+                           "restart_lost_datagrams": 0, "resend_replayed_batches": 0,
+                           "resend_overflow_batches": 0})
         merged["peak_open_processes"] = self.peak_open_processes
         return merged

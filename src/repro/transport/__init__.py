@@ -19,7 +19,11 @@ The transport here mirrors that design with three interchangeable channels:
 from repro.transport.channel import Channel, InMemoryChannel, LossyChannel, SocketChannel
 from repro.transport.chunking import reassemble_chunks, split_content
 from repro.transport.messages import MAX_DATAGRAM_SIZE, UDPMessage
-from repro.transport.receiver import MessageReceiver
+from repro.transport.receiver import (
+    DatagramQuarantine,
+    MessageReceiver,
+    QuarantinedDatagram,
+)
 from repro.transport.sender import UDPSender
 
 __all__ = [
@@ -27,7 +31,9 @@ __all__ = [
     "InMemoryChannel",
     "LossyChannel",
     "SocketChannel",
+    "DatagramQuarantine",
     "MessageReceiver",
+    "QuarantinedDatagram",
     "UDPSender",
     "UDPMessage",
     "MAX_DATAGRAM_SIZE",

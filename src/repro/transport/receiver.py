@@ -2,7 +2,10 @@
 
 The receiver decodes incoming datagrams and hands them to its sinks.
 Malformed datagrams are counted and dropped -- a receiver on a busy cluster
-cannot afford to crash because one packet was garbled.
+cannot afford to crash because one packet was garbled.  Optionally they are
+also *quarantined*: :class:`DatagramQuarantine` keeps a bounded ring of the
+raw bytes plus the decode-failure reason, so corruption on a production link
+leaves a forensic trail instead of only a counter.
 
 Two sinks are supported, independently switchable:
 
@@ -17,6 +20,7 @@ Two sinks are supported, independently switchable:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -24,6 +28,56 @@ from repro.db.store import MessageStore
 from repro.transport.channel import Channel
 from repro.transport.messages import UDPMessage
 from repro.util.errors import TransportError
+
+
+@dataclass(frozen=True)
+class QuarantinedDatagram:
+    """One undecodable datagram, kept verbatim for forensics."""
+
+    datagram: bytes  #: the raw bytes exactly as they arrived
+    reason: str      #: the decode failure (the TransportError message)
+
+
+@dataclass
+class DatagramQuarantine:
+    """A bounded ring of corrupt datagrams and why each failed to decode.
+
+    ``quarantined`` counts every capture ever made; the ring itself holds at
+    most ``capacity`` entries (oldest evicted first, counted in ``evicted``),
+    so a sustained corruption storm cannot grow memory without bound while
+    the most recent evidence is always available.  One quarantine instance
+    may be shared by several receivers/shards -- captures are merely appends.
+    """
+
+    capacity: int = 256
+    quarantined: int = 0
+    evicted: int = 0
+    _entries: deque = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise TransportError("quarantine capacity must be at least 1")
+        self._entries = deque(maxlen=self.capacity)
+
+    def capture(self, datagram: bytes, reason: str) -> None:
+        """Keep one corrupt datagram (evicting the oldest beyond capacity)."""
+        self.quarantined += 1
+        if len(self._entries) == self.capacity:
+            self.evicted += 1
+        self._entries.append(QuarantinedDatagram(datagram=bytes(datagram),
+                                                 reason=reason))
+
+    def extend(self, entries: "list[QuarantinedDatagram]") -> None:
+        """Merge captures shipped back from a remote worker (process shards)."""
+        for entry in entries:
+            self.capture(entry.datagram, entry.reason)
+
+    def entries(self) -> "list[QuarantinedDatagram]":
+        """The retained datagrams, oldest first."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class MessageSink(Protocol):
@@ -49,17 +103,24 @@ class MessageReceiver:
     batch_size: int = 500
     sink: MessageSink | None = None
     persist_raw: bool = True
+    quarantine: DatagramQuarantine | None = None
 
     def attach(self, channel: Channel) -> None:
         """Subscribe to a channel so every delivered datagram reaches the sinks."""
         channel.subscribe(self.handle_datagram)
 
     def handle_datagram(self, datagram: bytes) -> None:
-        """Decode one datagram and buffer it for delivery."""
+        """Decode one datagram and buffer it for delivery.
+
+        Undecodable datagrams are counted (and, with a quarantine attached,
+        captured with their raw bytes and the failure reason) -- never raised.
+        """
         try:
             message = UDPMessage.decode(datagram)
-        except TransportError:
+        except TransportError as error:
             self.decode_errors += 1
+            if self.quarantine is not None:
+                self.quarantine.capture(datagram, str(error))
             return
         self.handle_message(message)
 

@@ -8,9 +8,11 @@ introducing import cycles.
 from repro.util.errors import (
     CollectionError,
     CorpusError,
+    IngestError,
     ReproError,
     SimulationError,
     TransportError,
+    WorkerCrashError,
 )
 from repro.util.rng import SeededRNG
 from repro.util.tables import TextTable, format_count
@@ -18,9 +20,11 @@ from repro.util.tables import TextTable, format_count
 __all__ = [
     "CollectionError",
     "CorpusError",
+    "IngestError",
     "ReproError",
     "SimulationError",
     "TransportError",
+    "WorkerCrashError",
     "SeededRNG",
     "TextTable",
     "format_count",

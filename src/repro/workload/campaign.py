@@ -32,13 +32,17 @@ from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
 from repro.corpus.builder import CorpusBuilder, CorpusManifest
 from repro.corpus.packages import PACKAGES_BY_NAME
 from repro.db.store import MessageStore, ProcessRecord
+from repro.faults.channel import FaultyChannel
+from repro.faults.plan import FaultPlan
+from repro.faults.store import StoreFaultInjector
 from repro.hpcsim.cluster import Cluster
 from repro.ingest.sharded import ProcessDelta, ShardedIngest
 from repro.postprocess.consolidate import Consolidator
 from repro.transport.channel import InMemoryChannel, LossyChannel, SocketChannel
-from repro.transport.receiver import MessageReceiver
+from repro.transport.receiver import DatagramQuarantine, MessageReceiver
 from repro.transport.sender import UDPSender
 from repro.util.errors import CollectionError
+from repro.util.retry import RetryPolicy
 from repro.util.rng import SeededRNG
 from repro.workload.profiles import (
     BASH_ENVIRONMENT_QUIRKS,
@@ -48,7 +52,7 @@ from repro.workload.profiles import (
 )
 from repro.workload.scenarios import ScenarioBuilder
 
-CampaignChannel = LossyChannel | InMemoryChannel | SocketChannel
+CampaignChannel = LossyChannel | InMemoryChannel | SocketChannel | FaultyChannel
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,19 @@ class CampaignConfig:
     #: rare-but-load-bearing cases (the UNKNOWN icon runs, the GROMACS sharing)
     #: are present even at very small scales.
     ensure_template_coverage: bool = True
+    #: supervised restarts per process-mode shard worker before a crash
+    #: surfaces as :class:`~repro.util.errors.WorkerCrashError` (0 = fail fast)
+    ingest_max_restarts: int = 2
+    #: store-write retries on transient SQLite errors (locked/busy), with
+    #: exponential jittered backoff
+    store_retry_attempts: int = 4
+    #: bounded forensic ring of the most recent undecodable datagrams
+    #: (raw bytes + reason); 0 disables the quarantine
+    quarantine_capacity: int = 256
+    #: deterministic fault injection (:class:`~repro.faults.plan.FaultPlan`):
+    #: channel faults wrap the memory channel, store faults hook the shared
+    #: store, worker faults ride into process-mode shard workers
+    fault_plan: FaultPlan | None = None
 
     def jobs_for(self, profile: UserProfile) -> int:
         """Number of jobs this profile submits at the configured scale."""
@@ -114,6 +131,14 @@ class CampaignResult:
     jobs_run: int
     processes_run: int
     ingest: ShardedIngest | None = None  #: streaming-mode ingest front (counters)
+    decode_errors: int = 0     #: undecodable datagrams dropped by the ingest path
+    quarantined: int = 0       #: of those, raw bytes captured in the forensic ring
+    worker_restarts: int = 0   #: supervised shard-worker restarts (process mode)
+    #: what the injected channel faults did (``fault_plan`` runs only)
+    fault_counters: dict[str, int] | None = None
+    #: the store-fault hook, when the plan armed one (its counters say how
+    #: many transient/disk-full errors the retry layer had to absorb)
+    store_fault_injector: StoreFaultInjector | None = None
 
     @property
     def incomplete_fraction(self) -> float:
@@ -139,6 +164,7 @@ class DeploymentCampaign:
     channel: CampaignChannel = field(init=False)
     receiver: MessageReceiver | None = field(init=False, default=None)
     ingest: ShardedIngest | None = field(init=False, default=None)
+    store_fault_injector: StoreFaultInjector | None = field(init=False, default=None)
     scenario_builder: ScenarioBuilder = field(init=False)
     rng: SeededRNG = field(init=False)
     _prepared: bool = False
@@ -178,7 +204,12 @@ class DeploymentCampaign:
                 corpus.install_package(PACKAGES_BY_NAME[package_name], user)
 
         # SIREN deployment: store <- ingest <- channel <- sender <- collector hook.
-        self.store = MessageStore(self.config.store_path)
+        plan = self.config.fault_plan
+        self.store = MessageStore(
+            self.config.store_path,
+            retry=RetryPolicy(attempts=self.config.store_retry_attempts))
+        if plan is not None and plan.store.active:
+            self.store_fault_injector = StoreFaultInjector(plan).install(self.store)
         if self.config.transport == "socket":
             self.channel = SocketChannel()
         elif self.config.loss_rate > 0:
@@ -186,13 +217,27 @@ class DeploymentCampaign:
                                         rng=self.rng.fork("udp-loss"))
         else:
             self.channel = InMemoryChannel()
+        if plan is not None and plan.channel.active:
+            if self.config.transport != "memory":
+                raise CollectionError(
+                    "channel fault injection requires transport='memory' "
+                    "(a socket channel has its own, real faults)")
+            # The decorator *becomes* the campaign channel: the sender sends
+            # through the fault pipeline, subscriptions delegate to the inner
+            # channel, and the loss counters keep their usual shape.
+            self.channel = FaultyChannel(plan=plan, inner=self.channel)
         if self.config.ingest_mode == "streaming":
             self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
                                         persist_raw=self.config.keep_raw_messages,
-                                        workers=self.config.ingest_workers)
+                                        workers=self.config.ingest_workers,
+                                        max_restarts=self.config.ingest_max_restarts,
+                                        quarantine_capacity=self.config.quarantine_capacity,
+                                        fault_plan=plan)
             self.ingest.attach(self.channel)
         else:
-            self.receiver = MessageReceiver(self.store)
+            quarantine = (DatagramQuarantine(capacity=self.config.quarantine_capacity)
+                          if self.config.quarantine_capacity else None)
+            self.receiver = MessageReceiver(self.store, quarantine=quarantine)
             self.receiver.attach(self.channel)
         sender = UDPSender(self.channel)
         self.collector = SirenCollector(
@@ -221,6 +266,10 @@ class DeploymentCampaign:
             finally:
                 self.collector.close()  # release hash workers; caches stay warm
             self._drain_socket()
+            if isinstance(self.channel, FaultyChannel):
+                # End of stream: the injected network finally delivers what
+                # reordering/jitter was still holding back.
+                self.channel.flush()
             if self.ingest is not None:
                 records = self.ingest.finalize()
                 if not self.config.keep_raw_messages:
@@ -240,6 +289,18 @@ class DeploymentCampaign:
         # Profiles already carry anonymised names (user_1 ... user_12), so the
         # UID mapping simply reflects the registered usernames.
         user_names = {user.uid: user.username for user in self.cluster.users.all()}
+        if self.ingest is not None:
+            decode_errors = self.ingest.decode_errors
+            quarantined = self.ingest.quarantined
+            worker_restarts = self.ingest.worker_restarts
+        else:
+            assert self.receiver is not None
+            decode_errors = self.receiver.decode_errors
+            quarantined = (len(self.receiver.quarantine)
+                           if self.receiver.quarantine is not None else 0)
+            worker_restarts = 0
+        fault_counters = (self.channel.fault_counters()
+                          if isinstance(self.channel, FaultyChannel) else None)
         return CampaignResult(
             config=self.config,
             records=records,
@@ -252,6 +313,11 @@ class DeploymentCampaign:
             jobs_run=jobs_run,
             processes_run=self.cluster.processes_run,
             ingest=self.ingest,
+            decode_errors=decode_errors,
+            quarantined=quarantined,
+            worker_restarts=worker_restarts,
+            fault_counters=fault_counters,
+            store_fault_injector=self.store_fault_injector,
         )
 
     def snapshot(self) -> list[ProcessRecord]:

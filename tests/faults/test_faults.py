@@ -1,0 +1,200 @@
+"""The fault-injection layer itself: plans, the faulty channel, store faults.
+
+Everything here must be exactly reproducible from the plan seed -- that is
+the property that turns chaos testing into regression testing.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.db.store import MessageStore, is_transient_sqlite_error
+from repro.faults import (
+    ChannelFaultProfile,
+    FaultPlan,
+    FaultyChannel,
+    StoreFaultInjector,
+    StoreFaultProfile,
+    WorkerFaultProfile,
+    preset_plans,
+)
+from repro.transport.channel import InMemoryChannel
+from repro.transport.messages import InfoType, Layer, UDPMessage
+from repro.util.errors import ReproError
+from repro.util.retry import RetryPolicy
+
+
+def _datagrams(count: int) -> list[bytes]:
+    return [UDPMessage(jobid="1", stepid="0", pid=pid, path_hash=f"{pid:032x}",
+                       host="n1", time=100, layer=Layer.SELF,
+                       info_type=InfoType.PROCINFO, content=f"c{pid}").encode()
+            for pid in range(count)]
+
+
+def _run_channel(plan: FaultPlan, datagrams: list[bytes]):
+    channel = FaultyChannel(plan=plan, inner=InMemoryChannel())
+    delivered: list[bytes] = []
+    channel.subscribe(delivered.append)
+    for datagram in datagrams:
+        channel.send(datagram)
+    channel.flush()
+    return channel, delivered
+
+
+class TestFaultPlan:
+    def test_rates_are_validated(self):
+        with pytest.raises(ReproError):
+            ChannelFaultProfile(drop_rate=1.5)
+        with pytest.raises(ReproError):
+            StoreFaultProfile(error_rate=-0.1)
+        with pytest.raises(ReproError):
+            WorkerFaultProfile(kill_after_batches=0)
+
+    def test_active_and_order_preserving(self):
+        assert not FaultPlan().active
+        assert FaultPlan(channel=ChannelFaultProfile(drop_rate=0.1)).active
+        assert FaultPlan(workers=(WorkerFaultProfile(kill_after_batches=1),)).active
+        assert ChannelFaultProfile(drop_rate=0.5, jitter_rate=0.5).order_preserving
+        assert not ChannelFaultProfile(reorder_rate=0.01).order_preserving
+
+    def test_worker_fault_lookup(self):
+        plan = FaultPlan(workers=(WorkerFaultProfile(shard=2, kill_after_batches=3),))
+        assert plan.worker_fault_for(2).kill_after_batches == 3
+        assert plan.worker_fault_for(0) is None
+
+    def test_presets_cover_the_degradation_axes(self):
+        plans = preset_plans(seed=11)
+        assert not plans["baseline"].active
+        assert plans["loss-20pct"].channel.drop_rate == 0.20
+        assert all(plan.seed == 11 for plan in plans.values())
+        # every non-baseline preset actually injects something
+        assert all(plan.active for name, plan in plans.items() if name != "baseline")
+
+
+class TestFaultyChannel:
+    def test_same_plan_same_faults(self):
+        plan = FaultPlan(seed=99, channel=ChannelFaultProfile(
+            drop_rate=0.05, duplicate_rate=0.1, corrupt_rate=0.05,
+            truncate_rate=0.05, reorder_rate=0.05, jitter_rate=0.02))
+        datagrams = _datagrams(500)
+        first_channel, first = _run_channel(plan, datagrams)
+        second_channel, second = _run_channel(plan, datagrams)
+        assert first == second
+        assert first_channel.fault_counters() == second_channel.fault_counters()
+
+    def test_different_seed_different_faults(self):
+        datagrams = _datagrams(500)
+        profile = ChannelFaultProfile(drop_rate=0.1)
+        _, first = _run_channel(FaultPlan(seed=1, channel=profile), datagrams)
+        _, second = _run_channel(FaultPlan(seed=2, channel=profile), datagrams)
+        assert first != second
+
+    def test_conservation_drop_and_duplicate(self):
+        plan = FaultPlan(seed=5, channel=ChannelFaultProfile(
+            drop_rate=0.1, duplicate_rate=0.1))
+        datagrams = _datagrams(1000)
+        channel, delivered = _run_channel(plan, datagrams)
+        assert len(delivered) == (channel.datagrams_sent
+                                  - channel.datagrams_dropped
+                                  + channel.duplicated)
+        assert channel.in_flight == 0
+        assert 0.05 < channel.observed_loss_rate < 0.2
+
+    def test_order_preserving_profiles_preserve_order(self):
+        plan = FaultPlan(seed=3, channel=ChannelFaultProfile(
+            drop_rate=0.2, jitter_rate=0.1))
+        datagrams = _datagrams(400)
+        _, delivered = _run_channel(plan, datagrams)
+        positions = {datagram: index for index, datagram in enumerate(datagrams)}
+        indices = [positions[datagram] for datagram in delivered]
+        assert indices == sorted(indices)
+
+    def test_reordering_displaces_but_loses_nothing(self):
+        plan = FaultPlan(seed=8, channel=ChannelFaultProfile(reorder_rate=0.2))
+        datagrams = _datagrams(300)
+        channel, delivered = _run_channel(plan, datagrams)
+        assert sorted(delivered) == sorted(datagrams)  # nothing lost
+        assert channel.reordered > 0
+        positions = {datagram: index for index, datagram in enumerate(datagrams)}
+        indices = [positions[datagram] for datagram in delivered]
+        assert indices != sorted(indices)  # something actually moved
+
+    def test_flush_releases_holdbacks(self):
+        plan = FaultPlan(seed=4, channel=ChannelFaultProfile(
+            reorder_rate=1.0, reorder_depth=1000))
+        channel = FaultyChannel(plan=plan, inner=InMemoryChannel())
+        delivered: list[bytes] = []
+        channel.subscribe(delivered.append)
+        for datagram in _datagrams(10):
+            channel.send(datagram)
+        held = channel.in_flight
+        assert held > 0
+        assert channel.flush() == held
+        assert channel.in_flight == 0
+        assert len(delivered) == 10
+
+
+class TestStoreFaults:
+    def test_transient_classification(self):
+        assert is_transient_sqlite_error(sqlite3.OperationalError("database is locked"))
+        assert is_transient_sqlite_error(sqlite3.OperationalError("database table is busy"))
+        assert not is_transient_sqlite_error(
+            sqlite3.OperationalError("database or disk is full"))
+
+    def test_retry_absorbs_bursts_shorter_than_the_budget(self):
+        # Kept gentle on purpose: each retry re-draws the error gate, so a
+        # high rate can chain fresh bursts past any finite budget.
+        plan = FaultPlan(seed=21, store=StoreFaultProfile(error_rate=0.1,
+                                                          error_burst=2))
+        store = MessageStore(retry=RetryPolicy(attempts=6, base_delay=0.0))
+        store._sleep = lambda _: None  # keep the test instant
+        injector = StoreFaultInjector(plan).install(store)
+        messages = [UDPMessage(jobid="1", stepid="0", pid=pid, path_hash="h",
+                               host="n1", time=1, layer=Layer.SELF,
+                               info_type=InfoType.PROCINFO, content="x")
+                    for pid in range(50)]
+        for message in messages:
+            store.insert_many([message])
+        assert store.message_count() == 50       # every write eventually landed
+        assert injector.transient_raised > 0     # and faults genuinely fired
+        assert store.write_retries == injector.transient_raised
+
+    def test_burst_longer_than_budget_propagates(self):
+        plan = FaultPlan(seed=21, store=StoreFaultProfile(error_rate=1.0,
+                                                          error_burst=10))
+        store = MessageStore(retry=RetryPolicy(attempts=2, base_delay=0.0))
+        store._sleep = lambda _: None
+        StoreFaultInjector(plan).install(store)
+        message = UDPMessage(jobid="1", stepid="0", pid=1, path_hash="h",
+                             host="n1", time=1, layer=Layer.SELF,
+                             info_type=InfoType.PROCINFO, content="x")
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.insert_many([message])
+
+    def test_disk_full_is_never_retried(self):
+        plan = FaultPlan(seed=21, store=StoreFaultProfile(disk_full_after=0))
+        store = MessageStore(retry=RetryPolicy(attempts=8, base_delay=0.0))
+        store._sleep = lambda _: None
+        injector = StoreFaultInjector(plan).install(store)
+        message = UDPMessage(jobid="1", stepid="0", pid=1, path_hash="h",
+                             host="n1", time=1, layer=Layer.SELF,
+                             info_type=InfoType.PROCINFO, content="x")
+        with pytest.raises(sqlite3.OperationalError, match="full"):
+            store.insert_many([message])
+        assert injector.disk_full_raised == 1
+        assert store.write_retries == 0  # non-transient: not a single retry
+
+    def test_injection_is_deterministic(self):
+        def run() -> int:
+            plan = FaultPlan(seed=33, store=StoreFaultProfile(error_rate=0.2))
+            store = MessageStore(retry=RetryPolicy(attempts=4, base_delay=0.0))
+            store._sleep = lambda _: None
+            injector = StoreFaultInjector(plan).install(store)
+            for pid in range(40):
+                store.insert_many([UDPMessage(
+                    jobid="1", stepid="0", pid=pid, path_hash="h", host="n1",
+                    time=1, layer=Layer.SELF, info_type=InfoType.PROCINFO,
+                    content="x")])
+            return injector.transient_raised
+
+        assert run() == run()

@@ -189,8 +189,10 @@ class TestProcessWorkerLifecycle:
         assert len(front.finalize()) == 24
 
     def test_killed_worker_surfaces_transport_error_not_a_hang(self):
+        # max_restarts=0 restores fail-fast; the default supervisor would
+        # heal this kill instead (tests/ingest/test_selfheal.py).
         front = ShardedIngest(MessageStore(), shards=2, batch_size=8,
-                              workers="process")
+                              workers="process", max_restarts=0)
         for pid in range(20):
             front.handle_datagram(_message(pid).encode())
         front._pool.processes[0].kill()

@@ -1,0 +1,100 @@
+"""Property/fuzz tests: ``UDPMessage.decode`` is total over hostile bytes.
+
+The receiver's whole robustness story rests on one contract: for *any* input
+bytes, decode either returns a message or raises
+:class:`~repro.util.errors.TransportError` -- never ``ValueError``,
+``UnicodeDecodeError``, ``IndexError`` or anything else that would escape the
+receiver's handler and kill the ingest loop.  Hypothesis drives arbitrary,
+truncated, bit-flipped and structurally mutated datagrams at it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.messages import InfoType, Layer, UDPMessage
+from repro.util.errors import TransportError
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           exclude_characters="\x1f"),
+    max_size=30)
+
+messages = st.builds(
+    UDPMessage,
+    jobid=printable, stepid=printable,
+    pid=st.integers(min_value=0, max_value=2**31 - 1),
+    path_hash=printable, host=printable,
+    time=st.integers(min_value=0, max_value=2**40),
+    layer=st.sampled_from(list(Layer)),
+    info_type=st.sampled_from(list(InfoType)),
+    # the wire format reserves \x1f as the field separator; encode refuses it
+    content=st.text(alphabet=st.characters(exclude_characters="\x1f"),
+                    max_size=200),
+    chunk_index=st.integers(min_value=0, max_value=63),
+    chunk_total=st.integers(min_value=1, max_value=64),
+)
+
+
+def _decode_or_transport_error(datagram: bytes) -> UDPMessage | None:
+    """The contract under test, as a helper: anything else propagates."""
+    try:
+        return UDPMessage.decode(datagram)
+    except TransportError:
+        return None
+
+
+class TestDecodeTotality:
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_raise_anything_else(self, blob):
+        _decode_or_transport_error(blob)
+
+    @given(messages)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip(self, message):
+        assert UDPMessage.decode(message.encode()) == message
+
+    @given(messages, st.integers(min_value=0))
+    @settings(max_examples=200, deadline=None)
+    def test_every_truncation_decodes_or_raises_transport_error(self, message, cut):
+        encoded = message.encode()
+        truncated = encoded[:cut % (len(encoded) + 1)]
+        decoded = _decode_or_transport_error(truncated)
+        if len(truncated) < len(encoded):
+            # A proper prefix can only succeed by decoding a shorter content
+            # (the final field); every structural field is checked.
+            assert decoded is None or decoded.content != message.content \
+                or truncated == encoded
+
+    @given(messages, st.integers(min_value=0), st.integers(min_value=0, max_value=7))
+    @settings(max_examples=300, deadline=None)
+    def test_bit_flips_decode_or_raise_transport_error(self, message, position, bit):
+        encoded = bytearray(message.encode())
+        encoded[position % len(encoded)] ^= 1 << bit
+        _decode_or_transport_error(bytes(encoded))
+
+    @given(messages, st.integers(min_value=0), st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_field_count_mutations_raise_transport_error(self, message, where, add):
+        encoded = message.encode()
+        if add:
+            # Splice in an extra separator: the field count grows, and the
+            # spliced datagram must not silently decode to the original.
+            cut = where % (len(encoded) + 1)
+            mutated = encoded[:cut] + b"\x1f" + encoded[cut:]
+            decoded = _decode_or_transport_error(mutated)
+            assert decoded != message
+        else:
+            # Drop one separator: too few fields, never a silent pass-through.
+            separators = [index for index, byte in enumerate(encoded)
+                          if byte == 0x1F]
+            victim = separators[where % len(separators)]
+            mutated = encoded[:victim] + encoded[victim + 1:]
+            decoded = _decode_or_transport_error(mutated)
+            assert decoded != message
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=150, deadline=None)
+    def test_non_utf8_raises_transport_error(self, suffix):
+        datagram = b"SIREN1\x1f" + b"\xff\xfe" + suffix
+        assert _decode_or_transport_error(datagram) is None

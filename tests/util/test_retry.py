@@ -1,0 +1,32 @@
+"""RetryPolicy: the backoff schedule behind store writes and worker restarts."""
+
+import random
+
+from repro.util.retry import NO_RETRY, RetryPolicy
+
+
+class TestDelaySchedule:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(attempts=10, base_delay=0.01, growth=2.0,
+                             max_delay=0.05, jitter=0.0)
+        delays = [policy.delay(attempt) for attempt in range(6)]
+        assert delays[:3] == [0.01, 0.02, 0.04]
+        assert all(delay == 0.05 for delay in delays[3:])
+
+    def test_jitter_stays_within_band_and_cap(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.01, growth=2.0,
+                             max_delay=0.25, jitter=0.5)
+        rng = random.Random(13)
+        for attempt in range(4):
+            nominal = min(policy.max_delay,
+                          policy.base_delay * policy.growth ** attempt)
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert 0.5 * nominal <= delay <= min(policy.max_delay, 1.5 * nominal)
+
+    def test_no_rng_means_deterministic_nominal(self):
+        policy = RetryPolicy(attempts=2, base_delay=0.02, jitter=0.9)
+        assert policy.delay(0) == 0.02
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.attempts == 0
