@@ -1,0 +1,236 @@
+"""Campaign driver benchmark -- stage profile, parallel driver, encode batching.
+
+Three measurements, with record equivalence asserted before any timing claim:
+
+* **stage profile**: one serial campaign run with the built-in
+  :class:`~repro.util.timing.StageTimer` enabled, recording where the
+  wall-clock goes (``campaign.prepare`` / ``cluster.run_job`` /
+  ``collect.*`` / ``transport.*`` / ``store.write`` ...).  The profile is
+  the evidence behind the two optimisations this file then measures,
+* **parallel driver**: the same campaign with ``campaign_workers`` driver
+  processes; output pinned equivalent to serial, wall-clock and per-stage
+  timings recorded, and the parallel>=serial floor enforced where it is
+  winnable (>= 2 cores), skipped-with-reason (logged *and* recorded in the
+  JSON) on a single-core host,
+* **encode batching A/B**: the profile's residual serial hot spots --
+  per-chunk message encoding and dynamic-linker classification -- each have
+  a reference path kept alive behind a knob (``UDPSender.fast_encode``,
+  ``DynamicLinker.dynamic_cache_enabled``).  Both arms run the full
+  campaign; the recorded win is the before/after evidence that the batched
+  path pays for itself.
+
+Results are written as machine-readable JSON to ``BENCH_campaign.json`` in
+the repository root (override with ``REPRO_BENCH_JSON``).
+``REPRO_BENCH_SMOKE=1`` shrinks the campaign for CI smoke runs; floors stay
+off in smoke mode unless ``REPRO_BENCH_ENFORCE_DRIVER_FLOOR=1`` opts the
+parallel>=serial gate back in (CI does, on its multi-core runners).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.util.tables import TextTable
+from repro.workload import CampaignConfig, DeploymentCampaign
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+ENFORCE_DRIVER_FLOOR = os.environ.get(
+    "REPRO_BENCH_ENFORCE_DRIVER_FLOOR", "") not in ("", "0")
+SCALE = 0.0025 if SMOKE else 0.01
+SEED = 2025
+LOSS_RATE = 0.0002
+CPUS = len(os.sched_getaffinity(0))
+#: Driver width for the parallel arm: one per core, floor 2 so the arm
+#: exercises real cross-process merging even on a single-core host.
+WORKERS = max(2, min(4, CPUS))
+
+RESULTS: dict = {
+    "bench": "campaign_profile",
+    "smoke": SMOKE,
+    "scale": SCALE,
+    "seed": SEED,
+    "cpus": CPUS,
+    "campaign_workers": WORKERS,
+}
+
+
+def _json_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override:
+        return Path(override)
+    if SMOKE:
+        # Smoke runs (CI) are throwaway measurements: keep the tracked
+        # repo-root results file (the recorded full run) untouched.
+        return Path(os.environ.get("TMPDIR", "/tmp")) / "BENCH_campaign_smoke.json"
+    return Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_results():
+    yield
+    path = _json_path()
+    path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"\nwrote {path}")
+
+
+def _record_set(records):
+    return sorted(tuple(getattr(r, name) for name in r.__dataclass_fields__)
+                  for r in records)
+
+
+def _run_campaign(workers: int = 1, *, fast_encode: bool = True,
+                  dynamic_cache: bool = True):
+    """One timed campaign run; returns (result, wall seconds)."""
+    config = CampaignConfig(scale=SCALE, seed=SEED, loss_rate=LOSS_RATE,
+                            campaign_workers=workers)
+    campaign = DeploymentCampaign(config=config)
+    campaign.prepare()
+    # The A/B knobs are instance switches, not config: the reference paths
+    # exist only so this benchmark can measure what batching bought.
+    campaign.collector.sender.fast_encode = fast_encode
+    campaign.cluster.linker.dynamic_cache_enabled = dynamic_cache
+    start = time.perf_counter()
+    result = campaign.run()
+    return result, time.perf_counter() - start
+
+
+def _stage_table(title: str, stages: dict) -> str:
+    table = TextTable(["stage", "inclusive s", "calls"], title=title)
+    for name, stat in stages.items():
+        table.add_row([name, f"{stat['seconds']:.3f}", f"{stat['calls']:,}"])
+    return table.render()
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    """The serial reference: result + wall seconds, shared by every arm."""
+    return _run_campaign(1)
+
+
+class TestStageProfile:
+    def test_serial_profile_accounts_for_the_run(self, serial_run):
+        result, seconds = serial_run
+        stages = result.stage_timings
+        print()
+        print(_stage_table(f"Serial campaign stage profile ({seconds:.2f}s "
+                           f"wall, scale={SCALE})", stages))
+        for stage in ("campaign.prepare", "campaign.jobs", "campaign.finalize",
+                      "cluster.run_job", "collect.start", "transport.encode",
+                      "transport.send"):
+            assert stage in stages, f"stage {stage} missing from the profile"
+        # The three top-level stages cover (nearly) the whole run: the
+        # profile is trustworthy evidence, not a sample.
+        covered = sum(stages[name]["seconds"] for name in
+                      ("campaign.prepare", "campaign.jobs", "campaign.finalize"))
+        assert covered > 0.5 * seconds
+        # Job execution dominates: that is the stage the parallel driver
+        # attacks, and collection dominates inside it.
+        assert stages["campaign.jobs"]["seconds"] >= \
+            stages["campaign.prepare"]["seconds"]
+        RESULTS["serial"] = {"seconds": seconds, "stages": stages,
+                             "records": len(result.records),
+                             "statistics": result.statistics()}
+
+    def test_cache_effectiveness_counters(self, serial_run):
+        result, _seconds = serial_run
+        stats = result.statistics()
+        # The content/path caches carry the hashing load; the compare LRU
+        # only engages in analyses, so it is recorded but not asserted.
+        assert stats["hash_cache_hit_rate"] > 0.9
+        assert stats["hash_content_cache_hits"] >= 0
+        RESULTS["cache_effectiveness"] = {
+            key: stats[key] for key in
+            ("hashes_computed", "hash_cache_hits", "hash_content_cache_hits",
+             "hash_cache_hit_rate", "compare_cache_hits", "compare_cache_misses")}
+
+
+class TestParallelDriver:
+    def test_parallel_equivalent_and_profiled(self, serial_run):
+        serial_result, serial_seconds = serial_run
+        parallel_result, parallel_seconds = _run_campaign(WORKERS)
+        assert _record_set(parallel_result.records) == \
+            _record_set(serial_result.records)
+        assert parallel_result.jobs_run == serial_result.jobs_run
+        speedup = serial_seconds / parallel_seconds
+        print()
+        print(_stage_table(
+            f"Parallel campaign stage profile ({WORKERS} workers, "
+            f"{parallel_seconds:.2f}s wall, {speedup:.2f}x vs serial)",
+            parallel_result.stage_timings))
+
+        floor: dict = {"workers": WORKERS, "cpus": CPUS}
+        if CPUS < 2:
+            floor["enforced"] = False
+            floor["skip_reason"] = (
+                f"only {CPUS} CPU core(s) visible to this run -- driver "
+                "workers add IPC and duplicate prepare() on top of the same "
+                "serialized compute, so the parallel>=serial floor is "
+                "unwinnable here; rerun on >=2 cores to enforce it")
+        elif SMOKE and not ENFORCE_DRIVER_FLOOR:
+            floor["enforced"] = False
+            floor["skip_reason"] = ("smoke run without "
+                                    "REPRO_BENCH_ENFORCE_DRIVER_FLOOR=1")
+        else:
+            floor["enforced"] = True
+        if floor["enforced"]:
+            assert parallel_seconds <= serial_seconds, (
+                f"parallel driver ({parallel_seconds:.2f}s with {WORKERS} "
+                f"workers) fell behind serial ({serial_seconds:.2f}s) on "
+                f"{CPUS} cores")
+        else:
+            print(f"parallel>=serial floor SKIPPED: {floor['skip_reason']}")
+        RESULTS["parallel"] = {
+            "seconds": parallel_seconds,
+            "speedup_vs_serial": speedup,
+            "stages": parallel_result.stage_timings,
+            "driver_floor": floor,
+        }
+
+
+class TestEncodeBatchingAB:
+    def test_batched_paths_vs_reference(self, serial_run):
+        """The profile-guided batching, measured against its reference paths.
+
+        Profiling the seed driver put ``transport.encode`` (per-chunk
+        dataclass copy + double header serialisation) and dynamic-linker
+        ELF re-reads at the top of the job loop; the batched paths --
+        shared-prefix chunk encoding and the ``(path, mtime)`` link cache
+        -- are asserted byte-identical elsewhere, so this arm only measures
+        what they bought.
+        """
+        optimized_result, optimized_seconds = serial_run
+        reference_result, reference_seconds = _run_campaign(
+            1, fast_encode=False, dynamic_cache=False)
+        assert _record_set(reference_result.records) == \
+            _record_set(optimized_result.records)
+        win = reference_seconds / optimized_seconds
+        ref_stages = reference_result.stage_timings
+        opt_stages = optimized_result.stage_timings
+        table = TextTable(["arm", "wall s", "transport.encode s",
+                           "cluster.run_job s"],
+                          title=f"Encode/link batching A/B ({win:.2f}x)")
+        for name, seconds, stages in (
+            ("reference (unbatched)", reference_seconds, ref_stages),
+            ("batched (default)", optimized_seconds, opt_stages),
+        ):
+            table.add_row([name, f"{seconds:.2f}",
+                           f"{stages['transport.encode']['seconds']:.3f}",
+                           f"{stages['cluster.run_job']['seconds']:.3f}"])
+        print()
+        print(table.render())
+        RESULTS["encode_batching"] = {
+            "reference_seconds": reference_seconds,
+            "batched_seconds": optimized_seconds,
+            "win": win,
+            "reference_stages": ref_stages,
+            "batched_stages": opt_stages,
+        }
+        if not SMOKE:
+            # The batched default must never lose to its own reference path.
+            assert optimized_seconds <= reference_seconds * 1.05, (
+                f"batched encode ({optimized_seconds:.2f}s) lost to the "
+                f"reference path ({reference_seconds:.2f}s)")

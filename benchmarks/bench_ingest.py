@@ -48,6 +48,10 @@ from repro.workload import CampaignConfig, DeploymentCampaign
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 ENFORCE_PROCESS_FLOOR = os.environ.get(
     "REPRO_BENCH_ENFORCE_PROCESS_FLOOR", "") not in ("", "0")
+#: Opt-in large-scale arm: msg/s vs process-worker count at a campaign scale
+#: an order of magnitude above the default (slow -- minutes, not seconds).
+CURVE = os.environ.get("REPRO_BENCH_INGEST_CURVE", "") not in ("", "0")
+CURVE_SCALE = float(os.environ.get("REPRO_BENCH_INGEST_CURVE_SCALE", "0.1"))
 SCALE = 0.0025 if SMOKE else 0.01
 SEED = 2025
 CPUS = len(os.sched_getaffinity(0))
@@ -236,6 +240,60 @@ class TestCampaignWallClock:
         print(table.render())
         RESULTS["campaign"] = {name: {"seconds": seconds}
                                for name, seconds in timings.items()}
+
+
+@pytest.mark.skipif(not CURVE, reason="set REPRO_BENCH_INGEST_CURVE=1 to run "
+                    "the large-scale msg/s-vs-core-count curve (minutes)")
+class TestCoreCountCurve:
+    """Replay throughput vs process-worker count at 10x the default scale.
+
+    Worker counts are capped at the visible core count -- a point the host
+    cannot physically parallelise would chart IPC overhead, not scaling.
+    The recorded ``cpus`` field tells readers how far the curve could go.
+    """
+
+    def test_throughput_vs_worker_count(self):
+        campaign = DeploymentCampaign(
+            config=CampaignConfig(scale=CURVE_SCALE, seed=SEED,
+                                  loss_rate=0.0002))
+        campaign.prepare()
+        captured: list[bytes] = []
+        campaign.channel.subscribe(captured.append)
+        campaign.run()
+
+        counts = sorted(n for n in {1, 2, 4, 8, CPUS} if n <= CPUS)
+        points = {}
+        reference = None
+        table = TextTable(["process workers", "messages/s", "seconds"],
+                          title=f"Ingest scaling curve (scale={CURVE_SCALE}, "
+                                f"{len(captured)} datagrams, {CPUS} cores)")
+        for workers in counts:
+            front = ShardedIngest(MessageStore(), shards=workers,
+                                  workers="process")
+            start = time.perf_counter()
+            for datagram in captured:
+                front.handle_datagram(datagram)
+            records = front.finalize()
+            seconds = time.perf_counter() - start
+            if reference is None:
+                reference = _record_set(records)
+            else:
+                assert _record_set(records) == reference
+            points[str(workers)] = {
+                "seconds": seconds,
+                "messages_per_s": len(captured) / seconds,
+            }
+            table.add_row([str(workers),
+                           f"{points[str(workers)]['messages_per_s']:,.0f}",
+                           f"{seconds:.2f}"])
+        print()
+        print(table.render())
+        RESULTS["core_curve"] = {
+            "scale": CURVE_SCALE,
+            "datagrams": len(captured),
+            "cpus": CPUS,
+            "points": points,
+        }
 
 
 class TestMidRunSnapshot:

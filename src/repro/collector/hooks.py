@@ -33,6 +33,7 @@ from repro.hpcsim.filesystem import VirtualFilesystem
 from repro.hpcsim.process import ProcessContext
 from repro.transport.messages import UDPMessage
 from repro.transport.sender import UDPSender
+from repro.util.timing import NULL_TIMER
 
 
 @dataclass
@@ -57,6 +58,10 @@ class SirenCollector:
     processes_skipped: int = 0
     section_errors: int = 0
 
+    # Stage stopwatch (plain class attribute, not a field: assign an enabled
+    # StageTimer on an instance to profile constructor/destructor cost).
+    timer = NULL_TIMER
+
     def __post_init__(self) -> None:
         self.hasher = ArtifactHasher(
             self.filesystem,
@@ -70,6 +75,10 @@ class SirenCollector:
     # ------------------------------------------------------------------ #
     def on_process_start(self, context: ProcessContext) -> None:
         """Collect and send all policy-selected information for this process."""
+        with self.timer.section("collect.start"):
+            self._collect_start(context)
+
+    def _collect_start(self, context: ProcessContext) -> None:
         if not self.policy.should_collect_rank(context.slurm_procid):
             self.processes_skipped += 1
             return
@@ -126,12 +135,13 @@ class SirenCollector:
     # ------------------------------------------------------------------ #
     def on_process_end(self, context: ProcessContext) -> None:
         """Send the destructor record (end timestamp, exit code)."""
-        if not self.policy.should_collect_rank(context.slurm_procid):
-            return
-        header = self._header(context, Layer.SELF)
-        self.sender.send(header(InfoType.PROCEND, format_keyvalues({
-            "end_time": context.end_time, "exit_code": context.exit_code,
-        })))
+        with self.timer.section("collect.end"):
+            if not self.policy.should_collect_rank(context.slurm_procid):
+                return
+            header = self._header(context, Layer.SELF)
+            self.sender.send(header(InfoType.PROCEND, format_keyvalues({
+                "end_time": context.end_time, "exit_code": context.exit_code,
+            })))
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -185,7 +195,8 @@ class SirenCollector:
         ]
 
     def _executable_hash_messages(self, header, context: ProcessContext, scope) -> list[UDPMessage]:
-        hashes = self.hasher.executable_hashes(context.executable)
+        with self.timer.section("collect.hash"):
+            hashes = self.hasher.executable_hashes(context.executable)
         messages: list[UDPMessage] = []
         if scope.file_hash:
             messages.append(header(InfoType.FILE_H, hashes.file_hash))
@@ -209,6 +220,8 @@ class SirenCollector:
             messages.append(header(InfoType.FILEMETA, self._file_metadata(script),
                                    override_layer=Layer.SCRIPT))
         if scope.file_hash:
-            messages.append(header(InfoType.FILE_H, self.hasher.script_hash(script),
+            with self.timer.section("collect.hash"):
+                script_hash = self.hasher.script_hash(script)
+            messages.append(header(InfoType.FILE_H, script_hash,
                                    override_layer=Layer.SCRIPT))
         return messages

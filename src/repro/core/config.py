@@ -95,6 +95,14 @@ class SirenConfig:
         (``transport="memory"`` only), store faults hook the shared store's
         write paths, worker faults ride into the process-mode shard workers.
         ``None`` (default) injects nothing.
+    campaign_workers:
+        OS driver processes the job-generation loop fans out over when this
+        deployment is driven by a campaign (1 = the serial driver).  Mirrors
+        :attr:`~repro.workload.campaign.CampaignConfig.campaign_workers` and
+        carries the same merge contract: parallel output is pinned
+        equivalent to serial, and combining ``campaign_workers > 1`` with an
+        active channel fault plan is rejected (the fault pipeline is ordered
+        over the global datagram stream, which no single worker observes).
     """
 
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
@@ -115,3 +123,4 @@ class SirenConfig:
     store_retry_attempts: int = 4
     quarantine_capacity: int = 256
     fault_plan: FaultPlan | None = None
+    campaign_workers: int = 1

@@ -81,7 +81,17 @@ class SirenFramework:
             raise CollectionError(
                 f"unknown compare_backend {self.config.compare_backend!r} "
                 "(expected 'bitparallel' or 'reference')")
+        if self.config.campaign_workers < 1:
+            raise CollectionError(
+                f"campaign_workers must be >= 1, got {self.config.campaign_workers}")
         plan = self.config.fault_plan
+        if (self.config.campaign_workers > 1 and plan is not None
+                and plan.channel.active):
+            raise CollectionError(
+                "campaign_workers > 1 cannot merge with channel fault "
+                "injection: reorder/duplicate/holdback faults are ordered "
+                "over the global datagram stream, which no single driver "
+                "worker observes")
         self.store = MessageStore(
             self.config.store_path,
             retry=RetryPolicy(attempts=self.config.store_retry_attempts))

@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Iterator
 from repro.db.schema import MESSAGES_SCHEMA, PROCESSES_SCHEMA
 from repro.transport.messages import UDPMessage
 from repro.util.retry import RetryPolicy
+from repro.util.timing import NULL_TIMER
 
 #: Substrings marking an :class:`sqlite3.OperationalError` as transient --
 #: lock/busy contention clears on its own, so a bounded retry is the right
@@ -129,6 +130,9 @@ class MessageStore:
         self.fault_injector: Callable[[str], None] | None = None
         self._sleep = time.sleep          # injectable for tests
         self._retry_rng = random.Random(0xC0FFEE)  # jitter only; not output-visible
+        #: Stage stopwatch for write transactions ("store.write"); campaigns
+        #: replace it with their shared timer.
+        self.timer = NULL_TIMER
         self.connection = sqlite3.connect(path)
         if path == ":memory:":
             # Nothing to make crash-safe: trade all durability for speed.
@@ -180,8 +184,9 @@ class MessageStore:
             try:
                 if self.fault_injector is not None:
                     self.fault_injector(operation)
-                with self.connection:
-                    transaction()
+                with self.timer.section("store.write"):
+                    with self.connection:
+                        transaction()
                 return
             except sqlite3.OperationalError as error:
                 if not is_transient_sqlite_error(error) or attempt >= self.retry.attempts:

@@ -47,7 +47,9 @@ class DynamicLinker:
 
     filesystem: VirtualFilesystem
     default_paths: tuple[str, ...] = DEFAULT_SEARCH_PATH
+    dynamic_cache_enabled: bool = True
     _needed_cache: dict[tuple[str, int], tuple[str, ...]] = field(default_factory=dict)
+    _dynamic_cache: dict[tuple[str, int], bool] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # parsing helpers
@@ -67,13 +69,30 @@ class DynamicLinker:
         return needed
 
     def is_dynamic(self, path: str) -> bool:
-        """True if the executable at ``path`` is dynamically linked."""
-        content = self.filesystem.read(path)
+        """True if the executable at ``path`` is dynamically linked.
+
+        Cached by ``(path, mtime)`` like the DT_NEEDED cache: re-parsing the
+        ELF program headers for every process launch was one of the top
+        serial costs the campaign profile surfaced.  Set
+        ``dynamic_cache_enabled=False`` to force the uncached reference
+        behaviour (used for A/B measurement).
+        """
+        vfile = self.filesystem.get(path)
+        if self.dynamic_cache_enabled:
+            key = (path, vfile.metadata.mtime)
+            cached = self._dynamic_cache.get(key)
+            if cached is not None:
+                return cached
+        content = vfile.content
         if not is_elf(content):
             # Scripts (shebang files) execute through an interpreter which is
             # itself dynamic; treat them as dynamic so hooks apply.
-            return True
-        return ELFFile(content).is_dynamically_linked
+            dynamic = True
+        else:
+            dynamic = ELFFile(content).is_dynamically_linked
+        if self.dynamic_cache_enabled:
+            self._dynamic_cache[key] = dynamic
+        return dynamic
 
     # ------------------------------------------------------------------ #
     # search path handling
@@ -110,8 +129,7 @@ class DynamicLinker:
         Statically linked executables produce an empty result with
         ``static=True`` -- SIREN cannot observe those.
         """
-        content = self.filesystem.read(executable)
-        if is_elf(content) and not ELFFile(content).is_dynamically_linked:
+        if not self.is_dynamic(executable):
             return LinkResult(executable=executable, loaded_objects=(), preloaded=(),
                               missing=(), static=True)
 
@@ -165,8 +183,9 @@ class DynamicLinker:
         )
 
     def clear_cache(self) -> None:
-        """Drop the DT_NEEDED cache (used after rebuilding corpus files)."""
+        """Drop the mtime-keyed caches (used after rebuilding corpus files)."""
         self._needed_cache.clear()
+        self._dynamic_cache.clear()
 
 
 def ensure_library_present(filesystem: VirtualFilesystem, path: str) -> None:

@@ -53,6 +53,7 @@ from repro.postprocess.consolidate import (
 )
 from repro.transport.messages import UDPMessage
 from repro.util.errors import TransportError
+from repro.util.timing import NULL_TIMER
 
 
 @dataclass
@@ -88,6 +89,10 @@ class IncrementalConsolidator:
     store: MessageStore
     flush_batch_size: int = 64
     idle_epochs: int = 2
+
+    # Stage stopwatch (plain class attribute, not a field: the campaign
+    # assigns its shared StageTimer on thread-mode shard instances).
+    timer = NULL_TIMER
 
     # counters (mirroring the batch Consolidator where applicable)
     messages_consumed: int = 0
@@ -146,8 +151,9 @@ class IncrementalConsolidator:
 
     def feed_many(self, messages: list[UDPMessage]) -> None:
         """Consume a batch of decoded messages (the receiver's flush path)."""
-        for message in messages:
-            self.feed(message)
+        with self.timer.section("ingest.consolidate"):
+            for message in messages:
+                self.feed(message)
 
     # ------------------------------------------------------------------ #
     # epoch / close logic

@@ -106,8 +106,51 @@ class UDPMessage:
 
     def with_chunk(self, content: str, index: int, total: int) -> "UDPMessage":
         """Copy of this message carrying one chunk of a longer content."""
+        if (content == self.content and index == self.chunk_index
+                and total == self.chunk_total):
+            return self
         return replace(self, content=content, chunk_index=index, chunk_total=total)
 
+    def header_prefix(self) -> str:
+        """The constant-per-message field prefix (everything before CHUNK)."""
+        return _SEPARATOR.join((
+            _PROTOCOL_TAG,
+            self.jobid,
+            self.stepid,
+            str(self.pid),
+            self.path_hash,
+            self.host,
+            str(self.time),
+            self.layer.value,
+            self.info_type.value,
+        ))
+
     def header_overhead(self) -> int:
-        """Encoded size of the message with empty content (bytes)."""
-        return len(replace(self, content="").encode())
+        """Encoded size of the message with empty content (bytes).
+
+        Computed arithmetically from the header prefix -- no dataclass copy,
+        no second :meth:`encode` -- but pinned byte-equal to
+        ``len(replace(self, content="").encode())`` by the transport tests.
+        """
+        return (len(self.header_prefix().encode("utf-8"))
+                + len(str(self.chunk_index)) + len(str(self.chunk_total)) + 3)
+
+    def chunk_datagrams(self, chunks: list[str]) -> list[bytes]:
+        """Encode one datagram per chunk of this message's content.
+
+        Byte-identical to ``[self.with_chunk(c, i, len(chunks)).encode() for
+        i, c in enumerate(chunks)]`` but encodes the shared header prefix
+        once instead of re-serialising all twelve fields per chunk.  The
+        separator check runs once against the full content; chunks produced
+        by :func:`~repro.transport.chunking.split_content` cannot introduce
+        bytes that were not already present.
+        """
+        if _SEPARATOR in self.content:
+            raise TransportError("message content may not contain the field separator")
+        prefix = self.header_prefix()
+        total = len(chunks)
+        return [
+            f"{prefix}{_SEPARATOR}{index}{_SEPARATOR}{total}{_SEPARATOR}{chunk}"
+            .encode("utf-8")
+            for index, chunk in enumerate(chunks)
+        ]

@@ -44,6 +44,7 @@ from repro.transport.sender import UDPSender
 from repro.util.errors import CollectionError
 from repro.util.retry import RetryPolicy
 from repro.util.rng import SeededRNG
+from repro.util.timing import StageTimer
 from repro.workload.profiles import (
     BASH_ENVIRONMENT_QUIRKS,
     DEFAULT_PROFILES,
@@ -53,6 +54,43 @@ from repro.workload.profiles import (
 from repro.workload.scenarios import ScenarioBuilder
 
 CampaignChannel = LossyChannel | InMemoryChannel | SocketChannel | FaultyChannel
+
+
+def _no_drain() -> None:
+    """Per-job drain bound for non-socket transports (nothing queues)."""
+
+
+def iter_profile_jobs(config: CampaignConfig, profile: UserProfile,
+                      job_rng: SeededRNG):
+    """Yield ``(job_index, template, quirk_module)`` for one profile's jobs.
+
+    This generator *is* the job plan: the serial driver, every parallel
+    worker and the parallel planner (which must pre-compute how many job ids,
+    pids and clock ticks a profile consumes without running it) all iterate
+    it, so the template/quirk selection -- and therefore the RNG draw
+    sequence -- cannot drift between them.  ``job_rng`` must be the profile's
+    ``rng.fork("jobs", username)`` stream.
+    """
+    job_count = config.jobs_for(profile)
+    templates = list(profile.templates)
+    weights = profile.template_weights()
+    quirk_key = BASH_ENVIRONMENT_QUIRKS.get(profile.username)
+    coverage = config.ensure_template_coverage
+    quirk_fraction = config.quirk_fraction
+    for job_index in range(job_count):
+        if coverage and job_index < len(templates):
+            # First pass: round-robin so every template runs at least once.
+            template = templates[job_index]
+        else:
+            template = job_rng.weighted_choice(templates, weights)
+        quirk = None
+        if quirk_key and (job_index == 0
+                          or job_rng.random() < quirk_fraction):
+            # The first job of a "quirk" user always carries the altered
+            # environment so the rare bash variants of Table 4 are
+            # present even at very small campaign scales.
+            quirk = quirk_key
+        yield job_index, template, quirk
 
 
 @dataclass(frozen=True)
@@ -107,6 +145,13 @@ class CampaignConfig:
     #: channel faults wrap the memory channel, store faults hook the shared
     #: store, worker faults ride into process-mode shard workers
     fault_plan: FaultPlan | None = None
+    #: OS processes driving the job loop: 1 = the serial driver; N > 1
+    #: partitions user profiles across N workers, each owning a deterministic
+    #: cluster slice (disjoint job-id/pid ranges, per-user RNG forks,
+    #: per-worker clock offsets) and shipping its datagrams back into this
+    #: campaign's ingest path -- merged records are equal to the serial
+    #: driver's (see docs/architecture.md for the determinism contract).
+    campaign_workers: int = 1
 
     def jobs_for(self, profile: UserProfile) -> int:
         """Number of jobs this profile submits at the configured scale."""
@@ -139,6 +184,11 @@ class CampaignResult:
     #: the store-fault hook, when the plan armed one (its counters say how
     #: many transient/disk-full errors the retry layer had to absorb)
     store_fault_injector: StoreFaultInjector | None = None
+    #: inclusive wall seconds per pipeline stage (``{stage: {"seconds", "calls"}}``,
+    #: sorted top-cost-first).  With ``campaign_workers > 1`` the worker
+    #: timers are summed in, so totals are aggregate CPU-seconds and can
+    #: exceed the parent's wall-clock.
+    stage_timings: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def incomplete_fraction(self) -> float:
@@ -146,6 +196,53 @@ class CampaignResult:
         if not self.records:
             return 0.0
         return sum(record.incomplete for record in self.records) / len(self.records)
+
+    def statistics(self) -> dict[str, int | float]:
+        """Flat counter view of the run, for profiling and benchmarks.
+
+        Includes the cache-effectiveness counters of the collection-side
+        hashing path (:class:`~repro.collector.fuzzy.ArtifactHasher` path and
+        content caches, the signature compare LRU) so a profiling run can
+        tell "cache working" from "cache bypassed".  With
+        ``campaign_workers > 1`` the collector counters are the fold of all
+        worker collectors.
+        """
+        hasher = self.collector.hasher
+        compare_info = hasher.hasher.compare_cache_info()
+        sender = self.collector.sender
+        stats: dict[str, int | float] = {
+            "campaign_workers": self.config.campaign_workers,
+            "jobs_run": self.jobs_run,
+            "processes_run": self.processes_run,
+            "records": len(self.records),
+            "incomplete_fraction": self.incomplete_fraction,
+            "processes_collected": self.collector.processes_collected,
+            "processes_skipped": self.collector.processes_skipped,
+            "section_errors": self.collector.section_errors,
+            "hashes_computed": hasher.hashes_computed,
+            "hash_cache_hits": hasher.cache_hits,
+            "hash_content_cache_hits": hasher.content_cache_hits,
+            "compare_cache_hits": compare_info.hits,
+            "compare_cache_misses": compare_info.misses,
+            "messages_sent": sender.messages_sent,
+            "datagrams_sent": sender.datagrams_sent,
+            "send_errors": sender.send_errors,
+            "decode_errors": self.decode_errors,
+            "quarantined": self.quarantined,
+            "worker_restarts": self.worker_restarts,
+        }
+        hash_lookups = (hasher.hashes_computed + hasher.cache_hits
+                        + hasher.content_cache_hits)
+        stats["hash_cache_hit_rate"] = (
+            (hasher.cache_hits + hasher.content_cache_hits) / hash_lookups
+            if hash_lookups else 0.0)
+        dropped = getattr(self.channel, "datagrams_dropped", None)
+        if dropped is not None:
+            stats["datagrams_dropped"] = dropped
+        if self.ingest is not None:
+            for key, value in self.ingest.statistics().items():
+                stats[f"ingest_{key}"] = value
+        return stats
 
 
 @dataclass
@@ -157,6 +254,15 @@ class DeploymentCampaign:
     #: called after every submitted job with the running job count -- the
     #: hook point for mid-run :meth:`snapshot` calls and progress reporting.
     on_job: Callable[[int], None] | None = None
+    #: stage stopwatch; always on (sub-microsecond per section).  Surfaced as
+    #: :attr:`CampaignResult.stage_timings`; pass a shared timer to aggregate
+    #: across campaigns.
+    timer: StageTimer = field(default_factory=StageTimer, repr=False)
+    #: collect-only mode (the parallel driver's worker side): when set,
+    #: :meth:`prepare` builds no store/ingest/receiver and instead delivers
+    #: every channel-surviving datagram to this callable; :meth:`run` is
+    #: unavailable -- the owner drives :meth:`_run_profile` directly.
+    datagram_sink: Callable[[bytes], None] | None = None
     cluster: Cluster = field(init=False)
     manifest: CorpusManifest = field(init=False)
     collector: SirenCollector = field(init=False)
@@ -192,8 +298,25 @@ class DeploymentCampaign:
             raise CollectionError(
                 f"unknown compare_backend {self.config.compare_backend!r} "
                 "(expected 'bitparallel' or 'reference')")
+        if self.config.campaign_workers < 1:
+            raise CollectionError(
+                f"campaign_workers must be >= 1, got {self.config.campaign_workers}")
+        plan = self.config.fault_plan
+        if (self.config.campaign_workers > 1 and plan is not None
+                and plan.channel.active):
+            raise CollectionError(
+                "campaign_workers > 1 cannot merge deterministically with "
+                "channel fault injection: reorder/duplicate/holdback faults "
+                "are ordered over the global datagram stream, which parallel "
+                "workers do not have (store and ingest-worker faults are fine)")
+        with self.timer.section("campaign.prepare"):
+            self._prepare_deployment(plan)
+        self._prepared = True
+
+    def _prepare_deployment(self, plan: FaultPlan | None) -> None:
         self.rng = SeededRNG(self.config.seed)
         self.cluster = Cluster()
+        self.cluster.timer = self.timer
         corpus = CorpusBuilder(self.cluster, rng=self.rng.fork("corpus"))
         self.manifest = corpus.install_base_system()
 
@@ -204,20 +327,22 @@ class DeploymentCampaign:
                 corpus.install_package(PACKAGES_BY_NAME[package_name], user)
 
         # SIREN deployment: store <- ingest <- channel <- sender <- collector hook.
-        plan = self.config.fault_plan
-        self.store = MessageStore(
-            self.config.store_path,
-            retry=RetryPolicy(attempts=self.config.store_retry_attempts))
-        if plan is not None and plan.store.active:
-            self.store_fault_injector = StoreFaultInjector(plan).install(self.store)
-        if self.config.transport == "socket":
+        sink_only = self.datagram_sink is not None
+        if not sink_only:
+            self.store = MessageStore(
+                self.config.store_path,
+                retry=RetryPolicy(attempts=self.config.store_retry_attempts))
+            self.store.timer = self.timer
+            if plan is not None and plan.store.active:
+                self.store_fault_injector = StoreFaultInjector(plan).install(self.store)
+        if self.config.transport == "socket" and not sink_only:
             self.channel = SocketChannel()
         elif self.config.loss_rate > 0:
             self.channel = LossyChannel(loss_rate=self.config.loss_rate,
                                         rng=self.rng.fork("udp-loss"))
         else:
             self.channel = InMemoryChannel()
-        if plan is not None and plan.channel.active:
+        if plan is not None and plan.channel.active and not sink_only:
             if self.config.transport != "memory":
                 raise CollectionError(
                     "channel fault injection requires transport='memory' "
@@ -226,20 +351,26 @@ class DeploymentCampaign:
             # through the fault pipeline, subscriptions delegate to the inner
             # channel, and the loss counters keep their usual shape.
             self.channel = FaultyChannel(plan=plan, inner=self.channel)
-        if self.config.ingest_mode == "streaming":
+        if sink_only:
+            # Collect-only worker: datagrams that survive the channel go to
+            # the sink; the parent campaign owns store and ingest.
+            self.channel.subscribe(self.datagram_sink)
+        elif self.config.ingest_mode == "streaming":
             self.ingest = ShardedIngest(self.store, shards=self.config.ingest_shards,
                                         persist_raw=self.config.keep_raw_messages,
                                         workers=self.config.ingest_workers,
                                         max_restarts=self.config.ingest_max_restarts,
                                         quarantine_capacity=self.config.quarantine_capacity,
                                         fault_plan=plan)
+            for consolidator in self.ingest.consolidators:
+                consolidator.timer = self.timer
             self.ingest.attach(self.channel)
         else:
             quarantine = (DatagramQuarantine(capacity=self.config.quarantine_capacity)
                           if self.config.quarantine_capacity else None)
             self.receiver = MessageReceiver(self.store, quarantine=quarantine)
             self.receiver.attach(self.channel)
-        sender = UDPSender(self.channel)
+        sender = UDPSender(self.channel, timer=self.timer)
         self.collector = SirenCollector(
             filesystem=self.cluster.filesystem,
             sender=sender,
@@ -249,20 +380,34 @@ class DeploymentCampaign:
             hash_content_cache=self.config.hash_content_cache,
             hash_concurrency=self.config.hash_concurrency,
         )
+        self.collector.timer = self.timer
         self.cluster.register_preload_hook(self.collector)
         self.scenario_builder = ScenarioBuilder(self.cluster, self.manifest,
                                                 rng=self.rng.fork("scenarios"))
-        self._prepared = True
+        # Bind the per-job drain once: the isinstance check used to run in
+        # the inner job loop for every transport (satellite fix).
+        if isinstance(self.channel, SocketChannel):
+            self._drain_socket = self.channel.drain
+        else:
+            self._drain_socket = _no_drain
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def run(self) -> CampaignResult:
         """Execute the campaign and return the consolidated result."""
+        if self.datagram_sink is not None:
+            raise CollectionError(
+                "a collect-only campaign (datagram_sink set) has no ingest "
+                "path to run; drive its job loop directly")
         self.prepare()
         try:
             try:
-                jobs_run = self._run_jobs()
+                if self.config.campaign_workers > 1:
+                    from repro.workload.parallel import run_parallel_jobs
+                    jobs_run = run_parallel_jobs(self)
+                else:
+                    jobs_run = self._run_jobs()
             finally:
                 self.collector.close()  # release hash workers; caches stay warm
             self._drain_socket()
@@ -270,15 +415,17 @@ class DeploymentCampaign:
                 # End of stream: the injected network finally delivers what
                 # reordering/jitter was still holding back.
                 self.channel.flush()
-            if self.ingest is not None:
-                records = self.ingest.finalize()
-                if not self.config.keep_raw_messages:
-                    self.store.clear_messages()  # raw persistence was off; stays empty
-            else:
-                assert self.receiver is not None
-                self.receiver.flush()
-                consolidator = Consolidator(self.store)
-                records = consolidator.run(clear_messages=not self.config.keep_raw_messages)
+            with self.timer.section("campaign.finalize"):
+                if self.ingest is not None:
+                    records = self.ingest.finalize()
+                    if not self.config.keep_raw_messages:
+                        self.store.clear_messages()  # raw persistence was off; stays empty
+                else:
+                    assert self.receiver is not None
+                    self.receiver.flush()
+                    consolidator = Consolidator(self.store)
+                    records = consolidator.run(
+                        clear_messages=not self.config.keep_raw_messages)
         except BaseException:
             if self.ingest is not None:
                 self.ingest.close()  # stop any process shard workers
@@ -318,6 +465,7 @@ class DeploymentCampaign:
             worker_restarts=worker_restarts,
             fault_counters=fault_counters,
             store_fault_injector=self.store_fault_injector,
+            stage_timings=self.timer.as_dict(),
         )
 
     def snapshot(self) -> list[ProcessRecord]:
@@ -368,43 +516,60 @@ class DeploymentCampaign:
                             compare_backend=self.config.compare_backend).bind(self)
 
     def _drain_socket(self) -> None:
-        """Pull queued loopback datagrams into the ingest path (socket transport)."""
+        """Pull queued loopback datagrams into the ingest path (socket transport).
+
+        :meth:`prepare` rebinds this per instance -- straight to
+        ``channel.drain`` for socket transport, to a no-op otherwise -- so
+        the per-job call never re-checks the transport.
+        """
         if isinstance(self.channel, SocketChannel):
             self.channel.drain()
+
+    def _lossy_channel(self) -> LossyChannel | None:
+        """The loss-decision channel, unwrapping a fault decorator if present."""
+        channel = self.channel
+        if isinstance(channel, FaultyChannel):
+            channel = channel.inner
+        return channel if isinstance(channel, LossyChannel) else None
+
+    def _run_profile(self, profile: UserProfile, *, jobs_before: int = 0) -> int:
+        """Run one profile's whole job slice; returns the number of jobs run.
+
+        This is the unit of work the parallel driver assigns to a worker:
+        everything inside -- the job RNG, the per-user loss RNG, script
+        construction, clock advance -- depends only on the profile, the
+        config and the cluster state at entry, never on other profiles.
+        """
+        user = self.cluster.users.get(profile.username)
+        lossy = self._lossy_channel()
+        if lossy is not None:
+            # Per-user loss streams: drop decisions depend only on this
+            # profile, so the serial and parallel drivers lose the *same*
+            # datagrams (the determinism contract's loss clause).
+            lossy.rng = self.rng.fork("udp-loss", profile.username)
+        job_rng = self.rng.fork("jobs", profile.username)
+        on_job = self.on_job
+        jobs_run = 0
+        for job_index, template, quirk in iter_profile_jobs(
+                self.config, profile, job_rng):
+            script = self.scenario_builder.build_job_script(
+                profile, template, user, job_index=job_index, quirk_module=quirk,
+            )
+            self.cluster.run_job(profile.username, script)
+            jobs_run += 1
+            self._drain_socket()
+            if on_job is not None:
+                on_job(jobs_before + jobs_run)
+        # Each user's activity spreads over the campaign window.
+        self.cluster.filesystem.advance_clock(3600)
+        return jobs_run
 
     def _run_jobs(self) -> int:
         """Submit every profile's jobs through the scheduler; returns the count."""
         jobs_run = 0
-        for profile in self.profiles:
-            user = self.cluster.users.get(profile.username)
-            job_rng = self.rng.fork("jobs", profile.username)
-            job_count = self.config.jobs_for(profile)
-            templates = list(profile.templates)
-            weights = profile.template_weights()
-            quirk_key = BASH_ENVIRONMENT_QUIRKS.get(profile.username)
-            for job_index in range(job_count):
-                if self.config.ensure_template_coverage and job_index < len(templates):
-                    # First pass: round-robin so every template runs at least once.
-                    template = templates[job_index]
-                else:
-                    template = job_rng.weighted_choice(templates, weights)
-                quirk = None
-                if quirk_key and (job_index == 0
-                                  or job_rng.random() < self.config.quirk_fraction):
-                    # The first job of a "quirk" user always carries the altered
-                    # environment so the rare bash variants of Table 4 are
-                    # present even at very small campaign scales.
-                    quirk = quirk_key
-                script = self.scenario_builder.build_job_script(
-                    profile, template, user, job_index=job_index, quirk_module=quirk,
-                )
-                self.cluster.run_job(profile.username, script)
-                jobs_run += 1
-                self._drain_socket()
-                if self.on_job is not None:
-                    self.on_job(jobs_run)
-            # Each user's activity spreads over the campaign window.
-            self.cluster.filesystem.advance_clock(3600)
+        with self.timer.section("campaign.jobs"):
+            for profile in self.profiles:
+                jobs_run += self._run_profile(profile, jobs_before=jobs_run)
         return jobs_run
 
 
