@@ -7,7 +7,9 @@ Keeps ``README.md`` and ``docs/*.md`` honest without any third-party tools:
 * every backtick-quoted repository path (``src/...``, ``examples/foo.py``,
   ``benchmarks/...``, ...) must exist,
 * every ``python <file>`` command shown in fenced shell blocks must point at
-  an existing script, and
+  an existing script,
+* every ``BENCH_*.json`` mentioned (the README benchmark table keys its
+  claims to committed benchmark reports) must exist at the repo root, and
 * every fenced Python code block must at least compile, and its
   ``import``/``from`` lines against the local ``repro`` package must resolve
   (so the README quickstart cannot silently rot).
@@ -26,9 +28,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Documentation files under check.
-DOC_FILES = ("README.md", "docs/architecture.md")
+DOC_FILES = ("README.md", "docs/architecture.md", "docs/devtools.md")
 
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_BENCH_REF = re.compile(r"`?(BENCH_\w+\.json)`?")
 _BACKTICK_PATH = re.compile(
     r"`((?:src|docs|examples|benchmarks|tests|scripts)/[\w./-]*)`")
 _PYTHON_CMD = re.compile(r"python\s+((?:examples|scripts|benchmarks)/[\w./-]+\.py)")
@@ -62,6 +65,10 @@ def check_file(doc_path: Path) -> list[str]:
         for match in pattern.finditer(text):
             if not _exists(match.group(1)):
                 errors.append(f"{rel}: missing path -> {match.group(1)}")
+
+    for name in sorted({m.group(1) for m in _BENCH_REF.finditer(text)}):
+        if not _exists(name):
+            errors.append(f"{rel}: benchmark report not committed -> {name}")
 
     for language, body in _FENCE.findall(text):
         if language != "python":

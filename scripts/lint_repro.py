@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint gate, runnable from a bare checkout.
+
+Thin wrapper around ``python -m repro.devtools.lint`` that puts ``src`` on
+the import path first, so CI and fresh clones need no installation step:
+
+    python scripts/lint_repro.py                 # lint src/repro, all rules
+    python scripts/lint_repro.py --strict --json lint-report.json
+
+Exits 0 on a clean tree, 1 on any finding.  See ``docs/devtools.md`` for
+the rule catalogue and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.devtools.lint.cli import main  # noqa: E402 - path bootstrap first
+
+if __name__ == "__main__":
+    sys.exit(main())

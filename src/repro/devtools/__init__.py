@@ -1,0 +1,9 @@
+"""Developer tooling that keeps the repository's invariants mechanical.
+
+The reproduction's correctness rests on rules no runtime test states
+explicitly: one-seed determinism, byte-identical A/B reference paths,
+config knobs threaded in parallel through campaign and framework configs,
+fork-safe module state across the process pools, and a counter vocabulary
+that parallel-mode folding and the docs both agree on.  :mod:`repro.devtools.lint`
+turns those tribal rules into AST-level checks that gate CI.
+"""

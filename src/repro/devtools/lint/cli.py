@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro.devtools.lint [paths...]``.
+
+Exit status is the contract: 0 for a clean tree, 1 when any finding (or
+meta finding -- a reason-less or, under ``--strict``, stale allow comment)
+survives.  ``scripts/lint_repro.py`` wraps this for checkouts where
+``src`` is not already importable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.devtools.lint.engine import registered_families, run_lint
+from repro.devtools.lint.report import render_json, render_text
+
+
+def _repo_root(paths: list[Path]) -> Path:
+    """The repository root anchoring repo-relative finding paths.
+
+    Walk up from the first scanned path looking for the ``src/repro``
+    layout; fall back to the current directory.
+    """
+    probe = paths[0].resolve()
+    for candidate in (probe, *probe.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return Path.cwd()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Repo-invariant static analysis for the SIREN reproduction.")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to scan (default: src/repro)")
+    parser.add_argument("--select", metavar="FAMILIES",
+                        help="comma-separated rule families to run "
+                             f"(default: all of {','.join(registered_families())})")
+    parser.add_argument("--json", metavar="FILE", type=Path,
+                        help="also write the machine-readable report to FILE")
+    parser.add_argument("--strict", action="store_true",
+                        help="additionally fail on allow comments that "
+                             "silenced nothing (stale suppressions)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rule families and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for family in registered_families():
+            print(family)
+        return 0
+
+    if args.paths:
+        paths = args.paths
+    else:
+        # Default to the package's own source tree (cwd-independent, so
+        # scripts/lint_repro.py works from any directory).
+        import repro
+        paths = [Path(repro.__file__).resolve().parent]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    select = ([family.strip() for family in args.select.split(",")
+               if family.strip()] if args.select else None)
+    try:
+        result = run_lint(paths, repo_root=_repo_root(paths), select=select,
+                          strict=args.strict)
+    except ValueError as error:  # unknown --select family
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(render_json(result), encoding="utf-8")
+    sys.stdout.write(render_text(result))
+    return 0 if result.ok else 1

@@ -1,0 +1,61 @@
+"""Render a :class:`~repro.devtools.lint.engine.LintResult` for humans and CI.
+
+Two formats: a grep-style text report (``path:line: rule: message``) grouped
+by rule family for humans, and a JSON document for the CI build artifact.
+The JSON shape is stable -- dashboards and the ``static-analysis`` job's
+artifact consumers key off it::
+
+    {
+      "ok": true,
+      "modules_scanned": 93,
+      "families": ["determinism", "concurrency", "knobs", "counters"],
+      "findings": [{"rule", "message", "path", "line", "col"}, ...],
+      "suppressed": [...],
+      "meta_findings": [...],
+      "counts": {"determinism/unseeded-random": 2, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.devtools.lint.engine import Finding, LintResult
+
+
+def render_json(result: LintResult) -> str:
+    """The stable machine-readable report (CI artifact)."""
+    counts = Counter(f.rule for f in result.all_findings())
+    payload = {
+        "ok": result.ok,
+        "modules_scanned": result.modules_scanned,
+        "families": result.families,
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "meta_findings": [f.as_dict() for f in result.meta_findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def _line(finding: Finding) -> str:
+    return f"  {finding.path}:{finding.line}: {finding.rule}: {finding.message}"
+
+
+def render_text(result: LintResult) -> str:
+    """The human report: findings grouped by family, then a one-line verdict."""
+    lines: list[str] = []
+    failing = result.all_findings()
+    families = sorted({f.family for f in failing})
+    for family in families:
+        lines.append(f"[{family}]")
+        lines.extend(_line(f) for f in failing if f.family == family)
+    if result.suppressed:
+        lines.append(f"({len(result.suppressed)} finding(s) suppressed by "
+                     "'# repro: allow[...]' comments)")
+    verdict = ("clean" if result.ok
+               else f"FAILED with {len(failing)} finding(s)")
+    lines.append(f"repro lint: {result.modules_scanned} module(s), "
+                 f"{len(result.families)} rule families -- {verdict}")
+    return "\n".join(lines) + "\n"

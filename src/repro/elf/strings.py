@@ -35,6 +35,11 @@ def _run_pattern(min_length: int) -> re.Pattern[bytes]:
     return pattern
 
 
+def run_pattern_cache_clear() -> None:
+    """Drop the compiled-pattern cache (fork hygiene / test isolation)."""
+    _RUN_PATTERNS.clear()
+
+
 def extract_strings(data: bytes, min_length: int = 4) -> list[str]:
     """Return all printable ASCII runs of at least ``min_length`` characters."""
     if min_length < 1:

@@ -166,8 +166,18 @@ def _shard_worker_main(feed, replies, flush_batch_size: int, idle_epochs: int,
     batches_seen = 0
     stalled_once = False
     pending_quarantine: list[QuarantinedDatagram] = []
+    supervisor_pid = os.getppid()
     while True:
-        command, payload = feed.get()
+        try:
+            command, payload = feed.get(timeout=_POLL_INTERVAL)
+        except Empty:
+            # Orphan backstop: if the supervising front died without sending
+            # "close", the worker would block on this queue forever (the
+            # feed's feeder thread is non-daemonic).  Re-parenting (getppid
+            # changes to init/subreaper) is the death certificate.
+            if os.getppid() != supervisor_pid:
+                return
+            continue
         if command == "batch":
             batches_seen += 1
             if fault is not None:

@@ -1,0 +1,6 @@
+"""Test-collection home for the lint-framework suite.
+
+The shared source-fixture helpers live in :mod:`lint_fixtures` (a plain
+sibling module, importable because pytest prepends this directory to
+``sys.path`` for non-package test trees).
+"""

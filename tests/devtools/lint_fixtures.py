@@ -1,0 +1,29 @@
+"""Shared helpers for the lint-framework tests.
+
+Checker unit tests build :class:`SourceModule` objects straight from source
+strings (no files on disk), so each rule can be exercised against a
+known-good fixture and then against a single-line mutation of it -- the
+proof-of-detection pattern every rule family ships with.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import ast
+
+from repro.devtools.lint.engine import SourceModule, parse_suppressions
+
+
+def make_module(source: str, module: str = "repro.workload.fixture",
+                rel: str = "fixture.py") -> SourceModule:
+    """Parse ``source`` into a SourceModule with a chosen dotted name."""
+    source = source.lstrip("\n")
+    return SourceModule(path=Path(rel), rel=rel, module=module, text=source,
+                        tree=ast.parse(source),
+                        suppressions=parse_suppressions(rel, source))
+
+
+def rules_of(findings) -> list[str]:
+    """The rule ids of an iterable of findings, in emission order."""
+    return [finding.rule for finding in findings]

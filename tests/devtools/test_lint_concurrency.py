@@ -1,0 +1,190 @@
+"""Concurrency rules: fork-safe caches, queue liveness, exception hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.lint.concurrency import ConcurrencyChecker
+
+from lint_fixtures import make_module, rules_of
+
+
+def check(source: str, module: str = "repro.transport.fixture"):
+    checker = ConcurrencyChecker()
+    return list(checker.check_module(make_module(source, module=module)))
+
+
+class TestBareExcept:
+    def test_bare_except_fires_everywhere(self):
+        source = """
+def f():
+    try:
+        pass
+    except:
+        pass
+"""
+        assert rules_of(check(source, module="repro.analysis.fixture")) == [
+            "concurrency/bare-except"]
+
+    def test_named_except_is_clean(self):
+        source = """
+def f():
+    try:
+        pass
+    except ValueError:
+        pass
+"""
+        assert check(source) == []
+
+
+class TestSwallowedException:
+    GOOD = """
+class Sender:
+    def __init__(self):
+        self.send_errors = 0
+
+    def send(self, channel, payload):
+        try:
+            channel.push(payload)
+        except Exception:
+            self.send_errors += 1     # counted: visible in statistics
+"""
+
+    def test_counted_swallow_is_clean(self):
+        assert check(self.GOOD) == []
+
+    def test_uncounted_swallow_fires_in_scope(self):
+        mutated = self.GOOD.replace("self.send_errors += 1     "
+                                    "# counted: visible in statistics", "pass")
+        assert rules_of(check(mutated)) == ["concurrency/swallowed-exception"]
+
+    def test_reraise_is_clean(self):
+        source = """
+def f(log):
+    try:
+        risky()
+    except Exception as error:
+        log(error)
+        raise
+"""
+        assert check(source) == []
+
+    def test_out_of_scope_modules_may_swallow(self):
+        mutated = self.GOOD.replace("self.send_errors += 1     "
+                                    "# counted: visible in statistics", "pass")
+        assert check(mutated, module="repro.analysis.fixture") == []
+
+    def test_tuple_catch_including_exception_fires(self):
+        source = """
+def f():
+    try:
+        risky()
+    except (ValueError, Exception):
+        pass
+"""
+        assert rules_of(check(source)) == ["concurrency/swallowed-exception"]
+
+
+class TestQueueGetTimeout:
+    def test_blocking_get_fires_in_queueing_module(self):
+        source = "import queue\n\ndef drain(q):\n    return q.get()\n"
+        assert rules_of(check(source)) == ["concurrency/queue-get-timeout"]
+
+    def test_block_true_positional_fires(self):
+        source = "import multiprocessing\n\ndef drain(q):\n    return q.get(True)\n"
+        assert rules_of(check(source)) == ["concurrency/queue-get-timeout"]
+
+    def test_timeout_keyword_is_clean(self):
+        source = "import queue\n\ndef drain(q):\n    return q.get(timeout=0.2)\n"
+        assert check(source) == []
+
+    def test_dict_get_with_key_is_not_a_queue_get(self):
+        source = "import queue\n\ndef lookup(d):\n    return d.get('key')\n"
+        assert check(source) == []
+
+    def test_module_without_queueing_import_is_ignored(self):
+        assert check("def drain(q):\n    return q.get()\n") == []
+
+
+class TestModuleMutableCache:
+    CACHED = """
+_CACHE: dict[int, str] = {}
+
+
+def lookup(key):
+    value = _CACHE.get(key)
+    if value is None:
+        value = str(key)
+        _CACHE[key] = value
+    return value
+"""
+
+    def test_mutated_cache_without_hook_fires(self):
+        assert rules_of(check(self.CACHED)) == ["concurrency/module-mutable-cache"]
+
+    def test_clear_hook_referencing_the_cache_exempts(self):
+        source = self.CACHED + """
+
+def lookup_cache_clear():
+    _CACHE.clear()
+"""
+        assert check(source) == []
+
+    def test_hook_only_exempts_what_it_clears(self):
+        source = self.CACHED + """
+_OTHER: dict[int, str] = {}
+
+
+def touch(key):
+    _OTHER[key] = ""
+
+
+def lookup_cache_clear():
+    _CACHE.clear()
+"""
+        findings = check(source)
+        assert rules_of(findings) == ["concurrency/module-mutable-cache"]
+        assert "_OTHER" in findings[0].message
+
+    def test_readonly_constant_is_clean(self):
+        source = "_TABLE = {1: 'a', 2: 'b'}\n\ndef get(key):\n    return _TABLE[key]\n"
+        assert check(source) == []
+
+    def test_lru_cache_without_hook_fires(self):
+        source = """
+import functools
+
+
+@functools.lru_cache(maxsize=64)
+def normalize(text):
+    return text.lower()
+"""
+        assert rules_of(check(source)) == ["concurrency/module-mutable-cache"]
+
+    def test_lru_cache_with_clear_hook_is_clean(self):
+        source = """
+import functools
+
+
+@functools.lru_cache(maxsize=64)
+def normalize(text):
+    return text.lower()
+
+
+def normalize_cache_clear():
+    normalize.cache_clear()
+"""
+        assert check(source) == []
+
+
+class TestShippedTreeExamples:
+    """The real modules the rules were calibrated against stay classified."""
+
+    def test_procworkers_feed_loop_has_timeouts(self):
+        from pathlib import Path
+
+        from repro.devtools.lint.engine import load_module
+        root = Path(__file__).resolve().parents[2]
+        module = load_module(root / "src/repro/ingest/procworkers.py", root)
+        findings = [f for f in ConcurrencyChecker().check_module(module)]
+        assert rules_of(findings) == []

@@ -1,0 +1,153 @@
+"""Knob-parity rules against toy configs, a toy docs table and toy consumers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.devtools.lint.knobs import KnobParityChecker, parse_knob_table
+
+from lint_fixtures import make_module, rules_of
+
+
+@dataclass(frozen=True)
+class ToyCampaign:
+    shared: int = 1
+    only_campaign: int = 2
+
+
+@dataclass(frozen=True)
+class ToySiren:
+    shared: int = 1
+    only_framework: int = 3
+
+
+DOCS = """
+# Toy architecture
+
+| Knob | Scope | Description |
+| --- | --- | --- |
+| `shared` | both | mirrored everywhere |
+| `only_campaign` | campaign | campaign-only |
+| `only_framework` | framework | framework-only |
+"""
+
+CONSUMER = """
+def wire(config):
+    return (config.shared, config.only_campaign, config.only_framework)
+"""
+
+
+def check(tmp_path, docs: str = DOCS, consumer: str = CONSUMER,
+          campaign=ToyCampaign, siren=ToySiren):
+    docs_path = tmp_path / "architecture.md"
+    docs_path.write_text(docs.lstrip("\n"), encoding="utf-8")
+    checker = KnobParityChecker(campaign_cls=campaign, siren_cls=siren,
+                                docs_path=docs_path)
+    return list(checker.check_tree([make_module(consumer)]))
+
+
+class TestParsing:
+    def test_rows_scopes_and_lines(self):
+        rows = parse_knob_table(DOCS.lstrip("\n"))
+        assert rows["shared"] == ("both", 5)
+        assert rows["only_campaign"] == ("campaign", 6)
+        assert set(rows) == {"shared", "only_campaign", "only_framework"}
+
+    def test_non_table_backticks_are_ignored(self):
+        assert parse_knob_table("use `shared` with care\n") == {}
+
+
+class TestParity:
+    def test_consistent_fixture_is_clean(self, tmp_path):
+        assert check(tmp_path) == []
+
+    def test_missing_row_is_undocumented(self, tmp_path):
+        docs = "\n".join(line for line in DOCS.splitlines()
+                         if "`shared`" not in line)
+        findings = check(tmp_path, docs=docs)
+        assert rules_of(findings) == ["knobs/undocumented"]
+        assert "'shared'" in findings[0].message
+
+    def test_extra_row_is_stale(self, tmp_path):
+        docs = DOCS + "| `ghost_knob` | both | removed long ago |\n"
+        findings = check(tmp_path, docs=docs)
+        assert rules_of(findings) == ["knobs/stale-doc"]
+        assert "'ghost_knob'" in findings[0].message
+
+    def test_wrong_scope_is_a_mismatch(self, tmp_path):
+        docs = DOCS.replace("| `only_campaign` | campaign |",
+                            "| `only_campaign` | framework |")
+        findings = check(tmp_path, docs=docs)
+        assert rules_of(findings) == ["knobs/scope-mismatch"]
+
+    def test_documented_both_without_mirror_is_the_pr4_bug(self, tmp_path):
+        docs = DOCS.replace("| `only_campaign` | campaign |",
+                            "| `only_campaign` | both |")
+        findings = check(tmp_path, docs=docs)
+        assert rules_of(findings) == ["knobs/missing-mirror"]
+        assert "SirenConfig" in findings[0].message
+
+    def test_unread_field_is_unconsumed(self, tmp_path):
+        consumer = "def wire(config):\n    return (config.shared, config.only_campaign)\n"
+        findings = check(tmp_path, consumer=consumer)
+        assert rules_of(findings) == ["knobs/unconsumed"]
+        assert "'only_framework'" in findings[0].message
+
+    def test_self_read_inside_config_class_counts(self, tmp_path):
+        consumer = """
+class ToyCampaign:
+    def derived(self):
+        return self.shared + self.only_campaign
+
+
+def wire(config):
+    return config.only_framework
+"""
+        assert check(tmp_path, consumer=consumer) == []
+
+    def test_self_read_outside_config_class_does_not_count(self, tmp_path):
+        consumer = """
+class Unrelated:
+    def derived(self):
+        return self.shared + self.only_campaign + self.only_framework
+"""
+        findings = check(tmp_path, consumer=consumer)
+        assert {f.rule for f in findings} == {"knobs/unconsumed"}
+        assert len(findings) == 3
+
+    def test_missing_docs_file_reports_and_stops(self, tmp_path):
+        checker = KnobParityChecker(campaign_cls=ToyCampaign, siren_cls=ToySiren,
+                                    docs_path=tmp_path / "nope.md")
+        findings = list(checker.check_tree([make_module(CONSUMER)]))
+        assert rules_of(findings) == ["knobs/undocumented"]
+
+
+class TestRealRepoParity:
+    """The shipped configs, docs table and tree agree (the actual gate)."""
+
+    def test_real_configs_match_real_docs(self):
+        from pathlib import Path
+
+        from repro.devtools.lint.engine import iter_python_files, load_module
+
+        root = Path(__file__).resolve().parents[2]
+        modules = [load_module(path, root)
+                   for path in iter_python_files([root / "src" / "repro"])]
+        findings = list(KnobParityChecker().check_tree(modules))
+        assert findings == []
+
+    def test_docs_table_covers_every_field(self):
+        import dataclasses
+        from pathlib import Path
+
+        from repro.core.config import SirenConfig
+        from repro.workload.campaign import CampaignConfig
+
+        root = Path(__file__).resolve().parents[2]
+        rows = parse_knob_table((root / "docs" / "architecture.md")
+                                .read_text(encoding="utf-8"))
+        fields = ({f.name for f in dataclasses.fields(CampaignConfig)}
+                  | {f.name for f in dataclasses.fields(SirenConfig)})
+        assert fields <= set(rows)

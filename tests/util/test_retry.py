@@ -30,3 +30,150 @@ class TestDelaySchedule:
 
     def test_no_retry_sentinel(self):
         assert NO_RETRY.attempts == 0
+
+
+class TestEdgeCases:
+    def test_zero_attempts_is_valid_and_means_no_retry(self):
+        policy = RetryPolicy(attempts=0)
+        assert policy.attempts == 0
+        # the delay schedule is still well-defined (callers may pre-compute)
+        assert policy.delay(0) == policy.base_delay
+
+    def test_one_attempt_sleeps_exactly_base_delay(self):
+        policy = RetryPolicy(attempts=1, base_delay=0.03, growth=7.0,
+                             jitter=0.0)
+        assert policy.delay(0) == 0.03
+
+    def test_negative_attempts_rejected(self):
+        import pytest
+
+        from repro.util.errors import ReproError
+        with pytest.raises(ReproError, match="negative"):
+            RetryPolicy(attempts=-1)
+
+    def test_negative_delays_rejected(self):
+        import pytest
+
+        from repro.util.errors import ReproError
+        with pytest.raises(ReproError, match="negative"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ReproError, match="negative"):
+            RetryPolicy(max_delay=-0.1)
+
+    def test_jitter_outside_unit_interval_rejected(self):
+        import pytest
+
+        from repro.util.errors import ReproError
+        with pytest.raises(ReproError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ReproError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
+    def test_full_jitter_never_escapes_the_cap(self):
+        policy = RetryPolicy(attempts=8, base_delay=0.1, growth=10.0,
+                             max_delay=0.2, jitter=1.0)
+        rng = random.Random(99)
+        for attempt in range(8):
+            for _ in range(200):
+                delay = policy.delay(attempt, rng)
+                assert 0.0 <= delay <= policy.max_delay
+
+    def test_cap_applies_before_and_after_jitter(self):
+        # nominal is capped first, then the jittered value is capped again:
+        # even +jitter on an at-cap nominal cannot exceed max_delay.
+        policy = RetryPolicy(attempts=1, base_delay=1.0, growth=2.0,
+                             max_delay=0.5, jitter=0.5)
+        rng = random.Random(7)
+        assert all(policy.delay(0, rng) <= 0.5 for _ in range(100))
+
+    def test_growth_below_one_decays(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.08, growth=0.5,
+                             max_delay=1.0, jitter=0.0)
+        assert [policy.delay(a) for a in range(3)] == [0.08, 0.04, 0.02]
+
+
+class TestStorePassThrough:
+    """The store's retry loop honours the policy's edges."""
+
+    def _message(self):
+        from repro.transport.messages import InfoType, Layer, UDPMessage
+        return UDPMessage(jobid="1", stepid="0", pid=1, path_hash="h",
+                          host="n1", time=1, layer=Layer.SELF,
+                          info_type=InfoType.PROCINFO, content="x")
+
+    def test_non_retryable_error_passes_through_untouched(self):
+        import sqlite3
+
+        import pytest
+
+        from repro.db.store import MessageStore
+        store = MessageStore(retry=RetryPolicy(attempts=8, base_delay=0.0))
+        store._sleep = lambda _: None
+        calls = []
+
+        def injector(operation):
+            calls.append(operation)
+            raise sqlite3.OperationalError("database or disk is full")
+
+        store.fault_injector = injector
+        with pytest.raises(sqlite3.OperationalError, match="full"):
+            store.insert_many([self._message()])
+        assert store.write_retries == 0     # not a single retry was burned
+        assert len(calls) == 1              # and the write ran exactly once
+
+    def test_zero_attempt_budget_propagates_first_transient(self):
+        import sqlite3
+
+        import pytest
+
+        from repro.db.store import MessageStore
+        store = MessageStore(retry=NO_RETRY)
+        store._sleep = lambda _: None
+        calls = []
+
+        def injector(operation):
+            calls.append(operation)
+            raise sqlite3.OperationalError("database is locked")
+
+        store.fault_injector = injector
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.insert_many([self._message()])
+        assert store.write_retries == 0
+        assert len(calls) == 1
+
+    def test_one_attempt_budget_retries_exactly_once(self):
+        import sqlite3
+
+        import pytest
+
+        from repro.db.store import MessageStore
+        store = MessageStore(retry=RetryPolicy(attempts=1, base_delay=0.0))
+        store._sleep = lambda _: None
+        calls = []
+
+        def injector(operation):
+            calls.append(operation)
+            raise sqlite3.OperationalError("database is locked")
+
+        store.fault_injector = injector
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.insert_many([self._message()])
+        assert store.write_retries == 1
+        assert len(calls) == 2
+
+    def test_transient_clears_within_budget_and_write_lands(self):
+        import sqlite3
+
+        from repro.db.store import MessageStore
+        store = MessageStore(retry=RetryPolicy(attempts=3, base_delay=0.0))
+        store._sleep = lambda _: None
+        failures = iter([True, True])
+
+        def injector(operation):
+            if next(failures, False):
+                raise sqlite3.OperationalError("database is locked")
+
+        store.fault_injector = injector
+        assert store.insert_many([self._message()]) == 1
+        assert store.write_retries == 2
+        assert store.message_count() == 1
