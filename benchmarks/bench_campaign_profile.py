@@ -183,11 +183,23 @@ class TestParallelDriver:
                 f"{CPUS} cores")
         else:
             print(f"parallel>=serial floor SKIPPED: {floor['skip_reason']}")
+        feed = dict(parallel_result.feed_stats or {})
+        if feed.get("feed_calls"):
+            # The coalescing win: worker batches merged per parent ingest
+            # call (1.0 = no queue backlog to merge, higher = fewer
+            # driver.feed/store.write round-trips than batches arrived).
+            feed["batches_per_call"] = (feed["batches_received"]
+                                        / feed["feed_calls"])
+            print(f"feed coalescing: {feed['batches_received']} worker "
+                  f"batches -> {feed['feed_calls']} ingest calls "
+                  f"({feed['batches_per_call']:.2f} batches/call, "
+                  f"{feed['datagrams_fed']:,} datagrams)")
         RESULTS["parallel"] = {
             "seconds": parallel_seconds,
             "speedup_vs_serial": speedup,
             "stages": parallel_result.stage_timings,
             "driver_floor": floor,
+            "feed": feed,
         }
 
 

@@ -30,6 +30,19 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Documentation files under check.
 DOC_FILES = ("README.md", "docs/architecture.md", "docs/devtools.md")
 
+#: Benchmark reports that must be committed at the repo root whether or not
+#: a doc currently cites them (the docs-mention check alone would go quiet
+#: if a report's README table row were deleted along with the report).
+REQUIRED_BENCH_REPORTS = (
+    "BENCH_campaign.json",
+    "BENCH_compare.json",
+    "BENCH_faults.json",
+    "BENCH_hashing.json",
+    "BENCH_ingest.json",
+    "BENCH_live.json",
+    "BENCH_store.json",
+)
+
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
 _BENCH_REF = re.compile(r"`?(BENCH_\w+\.json)`?")
 _BACKTICK_PATH = re.compile(
@@ -113,6 +126,9 @@ def main() -> int:
             errors.append(f"missing documentation file: {doc}")
             continue
         errors.extend(check_file(path))
+    for name in REQUIRED_BENCH_REPORTS:
+        if not _exists(name):
+            errors.append(f"required benchmark report not committed -> {name}")
     if errors:
         print(f"documentation check FAILED ({len(errors)} problem(s)):")
         for error in errors:

@@ -103,6 +103,20 @@ class SirenConfig:
         equivalent to serial, and combining ``campaign_workers > 1`` with an
         active channel fault plan is rejected (the fault pipeline is ordered
         over the global datagram stream, which no single worker observes).
+    store_backend:
+        Storage substrate of the tiered record store (``rollups=True``):
+        ``"sqlite"`` persists the silver/blob tables next to ``store_path``
+        (in-memory alongside an in-memory store), ``"memory"`` keeps them in
+        plain dicts.  Mirrors
+        :attr:`~repro.workload.campaign.CampaignConfig.store_backend`.
+    rollups:
+        Maintain the tiered record store (:mod:`repro.db.tiered`) alongside
+        the ``processes`` table: silver hash-partitioned record shards with
+        cross-campaign content-addressed payload dedup, plus gold rollups
+        answering the Table 2/3/4/8 queries in O(answer).  Rollup answers
+        are pinned byte-identical to the recompute-from-records reference;
+        ``False`` (default) skips the extra tier entirely.  Mirrors
+        :attr:`~repro.workload.campaign.CampaignConfig.rollups`.
     """
 
     policy: CollectionPolicy = field(default_factory=lambda: DEFAULT_POLICY)
@@ -124,3 +138,5 @@ class SirenConfig:
     quarantine_capacity: int = 256
     fault_plan: FaultPlan | None = None
     campaign_workers: int = 1
+    store_backend: str = "sqlite"
+    rollups: bool = False

@@ -34,6 +34,7 @@ from repro.collector.hooks import SirenCollector
 from repro.core.config import SirenConfig
 from repro.core.pipeline import AnalysisPipeline
 from repro.db.store import MessageStore, ProcessRecord
+from repro.db.tiered import TieredStore, build_tiered_store
 from repro.faults.channel import FaultyChannel
 from repro.faults.store import StoreFaultInjector
 from repro.hpcsim.cluster import Cluster
@@ -60,6 +61,9 @@ class SirenFramework:
     store_fault_injector: StoreFaultInjector | None = field(init=False, default=None)
     receiver: MessageReceiver | None = field(init=False, default=None)
     ingest: ShardedIngest | None = field(init=False, default=None)
+    #: the tiered record store (``rollups=True``): silver record shards +
+    #: gold rollups, auto-synced with every consolidated-record write
+    tiered: TieredStore | None = field(init=False, default=None)
     sender: UDPSender = field(init=False)
     collector: SirenCollector | None = None
     cluster: Cluster | None = None
@@ -84,6 +88,10 @@ class SirenFramework:
         if self.config.campaign_workers < 1:
             raise CollectionError(
                 f"campaign_workers must be >= 1, got {self.config.campaign_workers}")
+        if self.config.store_backend not in ("sqlite", "memory"):
+            raise CollectionError(
+                f"unknown store_backend {self.config.store_backend!r} "
+                "(expected 'sqlite' or 'memory')")
         plan = self.config.fault_plan
         if (self.config.campaign_workers > 1 and plan is not None
                 and plan.channel.active):
@@ -97,6 +105,15 @@ class SirenFramework:
             retry=RetryPolicy(attempts=self.config.store_retry_attempts))
         if plan is not None and plan.store.active:
             self.store_fault_injector = StoreFaultInjector(plan).install(self.store)
+        if self.config.rollups:
+            # A framework deployment has no user registry at construction
+            # time, so gold user labels fall back to ``uid_<n>`` -- identical
+            # to recomputing the reference tables with ``user_names=None``.
+            self.tiered = build_tiered_store(
+                self.config.store_backend,
+                store_path=self.config.store_path,
+                campaign=f"deployment-seed{self.config.rng_seed}")
+            self.store.attach_tiered(self.tiered)
         if self.config.transport == "socket":
             self.channel = SocketChannel()
         elif self.config.loss_rate > 0:
@@ -311,4 +328,7 @@ class SirenFramework:
             stats["processes_collected"] = self.collector.processes_collected
             stats["processes_skipped"] = self.collector.processes_skipped
             stats["section_errors"] = self.collector.section_errors
+        if self.tiered is not None:
+            for name, value in self.tiered.statistics().items():
+                stats[name] = value
         return stats

@@ -2,5 +2,21 @@
 
 from repro.db.schema import MESSAGES_SCHEMA, PROCESSES_SCHEMA
 from repro.db.store import MessageStore
+from repro.db.tiered import (
+    MemoryBackend,
+    SqliteBackend,
+    StoreBackend,
+    TieredStore,
+    build_tiered_store,
+)
 
-__all__ = ["MessageStore", "MESSAGES_SCHEMA", "PROCESSES_SCHEMA"]
+__all__ = [
+    "MessageStore",
+    "MESSAGES_SCHEMA",
+    "PROCESSES_SCHEMA",
+    "StoreBackend",
+    "SqliteBackend",
+    "MemoryBackend",
+    "TieredStore",
+    "build_tiered_store",
+]

@@ -21,9 +21,12 @@ import random
 import sqlite3
 import time
 from dataclasses import dataclass, fields
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.db.schema import MESSAGES_SCHEMA, PROCESSES_SCHEMA
+
+if TYPE_CHECKING:  # imported lazily: repro.db.tiered imports this module
+    from repro.db.tiered import TieredStore
 from repro.transport.messages import UDPMessage
 from repro.util.retry import RetryPolicy
 from repro.util.timing import NULL_TIMER
@@ -133,6 +136,10 @@ class MessageStore:
         #: Stage stopwatch for write transactions ("store.write"); campaigns
         #: replace it with their shared timer.
         self.timer = NULL_TIMER
+        #: Attached tiered store (silver shards + gold rollups), kept in sync
+        #: with every consolidated-record write; see :meth:`attach_tiered`.
+        self.tiered: TieredStore | None = None
+        self._tiered_cursor = 0
         self.connection = sqlite3.connect(path)
         if path == ":memory:":
             # Nothing to make crash-safe: trade all durability for speed.
@@ -287,7 +294,40 @@ class MessageStore:
         self._write("insert_processes", lambda: self.connection.executemany(
             f"{verb} INTO processes ({columns}) VALUES ({placeholders})", rows
         ))
+        if self.tiered is not None and rows:
+            self.sync_tiered()
         return len(rows)
+
+    def attach_tiered(self, tiered: "TieredStore") -> None:
+        """Keep ``tiered`` in sync with every consolidated-record write.
+
+        Records already in the ``processes`` table are folded in immediately;
+        afterwards each write through :meth:`insert_or_replace_processes` /
+        :meth:`insert_processes_if_absent` triggers a :meth:`sync_tiered`
+        delta pull.  Both record paths -- the batch consolidator and the
+        streaming-ingest flush -- go through that chokepoint, so the silver
+        and gold tiers never lag the ``processes`` table.
+        """
+        self.tiered = tiered
+        self._tiered_cursor = 0
+        self.sync_tiered()
+
+    def sync_tiered(self) -> int:
+        """Fold new ``processes`` rows into the attached tiered store.
+
+        Uses the same rowid delta stream :meth:`load_processes_since` gives
+        the live analysis layer.  ``INSERT OR REPLACE`` re-consolidation
+        assigns new rowids to existing keys, so re-delivered rows reach the
+        tiered store again -- its key-idempotent ingest dedups unchanged
+        content and supersedes changed content.  Returns how many records
+        the delta carried.
+        """
+        if self.tiered is None:
+            return 0
+        records, self._tiered_cursor = self.load_processes_since(self._tiered_cursor)
+        if records:
+            self.tiered.ingest_records(records)
+        return len(records)
 
     def process_count(self) -> int:
         """Total number of consolidated process records."""

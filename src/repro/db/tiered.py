@@ -1,0 +1,914 @@
+"""Tiered record store: bronze datagrams -> silver records -> gold rollups.
+
+The per-campaign ``processes`` table answers every paper-facing question by
+re-scanning all records -- O(records) per query, which collapses under the
+roadmap's fleet-scale north star.  This module layers the classic
+bronze/silver/gold tiering on top of the existing store:
+
+* **bronze** -- the raw datagram/message tier.  Already present: the
+  ``messages`` table of the attached :class:`~repro.db.store.MessageStore`
+  (kept or cleared per ``keep_raw_messages``); the tiered store does not
+  duplicate it.
+* **silver** -- consolidated :class:`~repro.db.store.ProcessRecord` rows in
+  ``shards`` hash-partitioned shards (the same FNV-1a-32 key hash the
+  streaming front uses in :func:`~repro.ingest.sharded.shard_of`, so a
+  record's shard is stable across runs and processes).  Heavy payload
+  columns (shared-object lists, module lists, memory maps, ...) are
+  replaced by FNV-1a-64 content digests referencing a shared blob table --
+  the content-addressed scheme of the collector's digest cache -- so two
+  campaigns observing the same binaries store each payload once
+  (cross-campaign dedup).  Every digest write is verified against the
+  stored content; a 64-bit collision raises :class:`StoreError` instead of
+  silently corrupting a record.
+* **gold** -- incrementally maintained rollup accumulators answering the
+  four paper tables (:func:`~repro.analysis.stats.user_activity_table`,
+  :func:`~repro.analysis.stats.system_executable_table`,
+  :func:`~repro.analysis.stats.shared_object_variant_table`,
+  :func:`~repro.analysis.stats.python_interpreter_table`) in O(answer):
+  query cost depends on the number of *groups* in the answer, never on the
+  record count.  The accumulators fold the same record deltas
+  :class:`~repro.analysis.live.LiveAnalysis` consumes (the store's
+  ``load_processes_since`` stream) and track per-group minimum/maximum
+  process keys, so row order -- including tie order -- is byte-identical
+  to the recompute-from-records reference over canonically key-sorted
+  records (the repo's standard equivalence pin; see
+  ``tests/db/test_tiered.py``).
+
+Idempotence mirrors the store's upsert semantics: re-delivering a record
+whose content digest is unchanged is a dedup no-op (the tiered analogue of
+``INSERT OR IGNORE``); a *changed* record under a known key (batch
+re-consolidation rebuilding a row from more messages, the ``INSERT OR
+REPLACE`` path) appends a superseding silver version and marks the
+campaign's gold dirty -- the next query rebuilds it from silver, so answers
+never go stale.  :meth:`TieredStore.compact` rewrites the shards down to
+the latest version per key and garbage-collects unreferenced blobs;
+compaction is idempotent and answer-preserving.
+
+The storage substrate sits behind the tiny :class:`StoreBackend` protocol
+(:class:`SqliteBackend` for durable/on-disk stores, :class:`MemoryBackend`
+for tests and throwaway runs); campaigns and frameworks pick it with the
+``store_backend`` knob and opt into the whole tier with ``rollups``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Iterator, Protocol
+
+from repro.analysis.stats import (
+    PythonInterpreterRow,
+    SharedObjectVariantRow,
+    SystemExecutableRow,
+    UserActivityRow,
+    _user_label,
+)
+from repro.collector.classify import ExecutableCategory
+from repro.db.store import ProcessRecord
+from repro.hashing.fnv import fnv1a_32, fnv1a_64
+from repro.util.errors import StoreError
+
+#: Default silver shard count (matches the default sharded-ingest width).
+DEFAULT_SHARDS = 4
+
+#: Heavy payload columns replaced by blob digests in silver rows.  The short
+#: digest columns (``*_h``) and scalar header fields stay inline.
+DEDUP_FIELDS = ("file_metadata", "modules", "objects", "compilers", "maps",
+                "script_meta", "python_packages")
+
+_ALL_FIELDS = tuple(f.name for f in fields(ProcessRecord))
+_INLINE_FIELDS = tuple(name for name in _ALL_FIELDS if name not in DEDUP_FIELDS)
+_KEY_FIELDS = ("jobid", "stepid", "pid", "hash", "host", "time")
+
+
+def record_key(record: ProcessRecord) -> str:
+    """The canonical process-key string (the sharding + identity key).
+
+    Field-for-field the string :func:`~repro.ingest.sharded.shard_of`
+    hashes, so a record lands on the same shard index the streaming front
+    would route its messages to.
+    """
+    return "\x1f".join(str(getattr(record, name)) for name in _KEY_FIELDS)
+
+
+def record_digest(record: ProcessRecord) -> int:
+    """FNV-1a-64 content digest over every field of ``record``.
+
+    Two records with equal digests are treated as identical content; the
+    blob layer's collision check makes the same assumption explicit and
+    loud for the payload columns.
+    """
+    joined = "\x1f".join(str(getattr(record, name)) for name in _ALL_FIELDS)
+    return fnv1a_64(joined.encode("utf-8"))
+
+
+def shard_of_key(key: str, shards: int) -> int:
+    """Deterministic silver shard index for a process-key string."""
+    return fnv1a_32(key.encode("utf-8")) % shards
+
+
+# --------------------------------------------------------------------------- #
+# backend seam
+# --------------------------------------------------------------------------- #
+class StoreBackend(Protocol):
+    """Minimal storage contract behind the tiered store.
+
+    A backend stores three things and understands none of them: silver
+    *rows* (append-only ``(key, payload)`` string pairs per shard, rewritten
+    wholesale by compaction), content *blobs* keyed by a 64-bit digest, and
+    a small *meta* key/value table (shard-count pinning).  All tier
+    semantics -- versioning, dedup, rollups, collision checks -- live in
+    :class:`TieredStore`, so a new backend (an object store, a client to a
+    real database server) only implements this protocol.
+    """
+
+    def append_rows(self, shard: int, rows: list[tuple[str, str]]) -> None:
+        """Append ``(key, payload)`` rows to ``shard`` in order."""
+        ...
+
+    def iter_rows(self, shard: int) -> Iterator[tuple[str, str]]:
+        """Yield ``shard``'s rows in append order."""
+        ...
+
+    def replace_rows(self, shard: int, rows: list[tuple[str, str]]) -> None:
+        """Atomically replace ``shard``'s rows (compaction/retention)."""
+        ...
+
+    def row_count(self, shard: int) -> int:
+        """Number of rows currently in ``shard``."""
+        ...
+
+    def put_blob(self, digest: int, content: str) -> None:
+        """Store ``content`` under ``digest`` (no-op if present)."""
+        ...
+
+    def get_blob(self, digest: int) -> str | None:
+        """The content stored under ``digest``, or ``None``."""
+        ...
+
+    def blob_count(self) -> int:
+        """Number of distinct blobs stored."""
+        ...
+
+    def delete_blobs(self, digests: Iterable[int]) -> None:
+        """Drop the named blobs (compaction garbage collection)."""
+        ...
+
+    def get_meta(self, name: str) -> str | None:
+        """Read one meta value, or ``None``."""
+        ...
+
+    def set_meta(self, name: str, value: str) -> None:
+        """Write one meta value."""
+        ...
+
+    def close(self) -> None:
+        """Release backend resources."""
+        ...
+
+
+class MemoryBackend:
+    """In-memory :class:`StoreBackend`: plain dicts and lists."""
+
+    def __init__(self) -> None:
+        self._shards: dict[int, list[tuple[str, str]]] = {}
+        self._blobs: dict[int, str] = {}
+        self._meta: dict[str, str] = {}
+
+    def append_rows(self, shard: int, rows: list[tuple[str, str]]) -> None:
+        self._shards.setdefault(shard, []).extend(rows)
+
+    def iter_rows(self, shard: int) -> Iterator[tuple[str, str]]:
+        yield from self._shards.get(shard, [])
+
+    def replace_rows(self, shard: int, rows: list[tuple[str, str]]) -> None:
+        self._shards[shard] = list(rows)
+
+    def row_count(self, shard: int) -> int:
+        return len(self._shards.get(shard, []))
+
+    def put_blob(self, digest: int, content: str) -> None:
+        self._blobs.setdefault(digest, content)
+
+    def get_blob(self, digest: int) -> str | None:
+        return self._blobs.get(digest)
+
+    def blob_count(self) -> int:
+        return len(self._blobs)
+
+    def delete_blobs(self, digests: Iterable[int]) -> None:
+        for digest in digests:
+            self._blobs.pop(digest, None)
+
+    def get_meta(self, name: str) -> str | None:
+        return self._meta.get(name)
+
+    def set_meta(self, name: str, value: str) -> None:
+        self._meta[name] = value
+
+    def close(self) -> None:
+        self._shards.clear()
+        self._blobs.clear()
+
+
+class SqliteBackend:
+    """SQLite :class:`StoreBackend`: one shard table per silver partition.
+
+    ``":memory:"`` (the default) keeps everything in RAM with durability
+    traded for speed, matching :class:`~repro.db.store.MessageStore`'s
+    pragma choices; an on-disk path runs in WAL mode and survives reopen
+    (the tiered store rebuilds its in-memory state from the silver scan).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        if path == ":memory:":
+            self.connection.execute("PRAGMA synchronous=OFF")
+            self.connection.execute("PRAGMA journal_mode=MEMORY")
+        else:
+            self.connection.execute("PRAGMA journal_mode=WAL")
+            self.connection.execute("PRAGMA synchronous=NORMAL")
+        with self.connection:
+            self.connection.execute(
+                "CREATE TABLE IF NOT EXISTS tier_blobs ("
+                "digest INTEGER PRIMARY KEY, content TEXT NOT NULL)")
+            self.connection.execute(
+                "CREATE TABLE IF NOT EXISTS tier_meta ("
+                "name TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        self._known_shards: set[int] = {
+            int(row[0].rsplit("_", 1)[1]) for row in self.connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+                " AND name LIKE 'silver_%'")
+        }
+
+    def _ensure_shard(self, shard: int) -> str:
+        table = f"silver_{shard}"
+        if shard not in self._known_shards:
+            with self.connection:
+                self.connection.execute(
+                    f"CREATE TABLE IF NOT EXISTS {table} ("
+                    "seq INTEGER PRIMARY KEY AUTOINCREMENT, "
+                    "key TEXT NOT NULL, payload TEXT NOT NULL)")
+            self._known_shards.add(shard)
+        return table
+
+    def append_rows(self, shard: int, rows: list[tuple[str, str]]) -> None:
+        table = self._ensure_shard(shard)
+        with self.connection:
+            self.connection.executemany(
+                f"INSERT INTO {table} (key, payload) VALUES (?, ?)", rows)
+
+    def iter_rows(self, shard: int) -> Iterator[tuple[str, str]]:
+        table = self._ensure_shard(shard)
+        cursor = self.connection.execute(
+            f"SELECT key, payload FROM {table} ORDER BY seq")
+        while batch := cursor.fetchmany(1024):
+            yield from batch
+
+    def replace_rows(self, shard: int, rows: list[tuple[str, str]]) -> None:
+        table = self._ensure_shard(shard)
+        with self.connection:
+            self.connection.execute(f"DELETE FROM {table}")
+            self.connection.executemany(
+                f"INSERT INTO {table} (key, payload) VALUES (?, ?)", rows)
+
+    def row_count(self, shard: int) -> int:
+        table = self._ensure_shard(shard)
+        return int(self.connection.execute(
+            f"SELECT COUNT(*) FROM {table}").fetchone()[0])
+
+    def put_blob(self, digest: int, content: str) -> None:
+        with self.connection:
+            self.connection.execute(
+                "INSERT OR IGNORE INTO tier_blobs (digest, content)"
+                " VALUES (?, ?)", (_signed(digest), content))
+
+    def get_blob(self, digest: int) -> str | None:
+        row = self.connection.execute(
+            "SELECT content FROM tier_blobs WHERE digest = ?",
+            (_signed(digest),)).fetchone()
+        return None if row is None else str(row[0])
+
+    def blob_count(self) -> int:
+        return int(self.connection.execute(
+            "SELECT COUNT(*) FROM tier_blobs").fetchone()[0])
+
+    def delete_blobs(self, digests: Iterable[int]) -> None:
+        with self.connection:
+            self.connection.executemany(
+                "DELETE FROM tier_blobs WHERE digest = ?",
+                [(_signed(digest),) for digest in digests])
+
+    def get_meta(self, name: str) -> str | None:
+        row = self.connection.execute(
+            "SELECT value FROM tier_meta WHERE name = ?", (name,)).fetchone()
+        return None if row is None else str(row[0])
+
+    def set_meta(self, name: str, value: str) -> None:
+        with self.connection:
+            self.connection.execute(
+                "INSERT OR REPLACE INTO tier_meta (name, value) VALUES (?, ?)",
+                (name, value))
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+def _signed(digest: int) -> int:
+    """Map an unsigned 64-bit digest into SQLite's signed INTEGER range."""
+    return digest - 0x10000000000000000 if digest >= 0x8000000000000000 else digest
+
+
+# --------------------------------------------------------------------------- #
+# gold accumulators
+# --------------------------------------------------------------------------- #
+#: The canonical process key tuple (the batch consolidator's record order).
+_Key = tuple[str, str, int, str, str, int]
+
+
+def _key_tuple(record: ProcessRecord) -> _Key:
+    return (record.jobid, record.stepid, record.pid, record.hash,
+            record.host, record.time)
+
+
+@dataclass
+class _UserRollup:
+    """Gold accumulator behind one Table 2 row (min-key tracked for order)."""
+
+    first_key: _Key
+    jobs: set[str] = field(default_factory=set)
+    counts: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _GroupRollup:
+    """Gold accumulator behind one Table 3/8 row."""
+
+    first_key: _Key
+    users: set[str] = field(default_factory=set)
+    jobs: set[str] = field(default_factory=set)
+    processes: int = 0
+    hashes: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _VariantRollup:
+    """Gold accumulator behind one Table 4 row (one object set of one exe)."""
+
+    first_key: _Key
+    process_count: int = 0
+
+
+@dataclass
+class _ExeNameRollup:
+    """Per executable-*name* state Table 4 needs beyond its variants.
+
+    The reference implementation updates ``exe_path`` on every matching
+    record, so the reported path belongs to the *last* match in canonical
+    key order -- reproduced here by max-key tracking (the mirror image of
+    the min-key trick that pins row order).
+    """
+
+    last_key: _Key
+    executable: str
+    variants: dict[tuple[str, ...], _VariantRollup] = field(default_factory=dict)
+
+
+@dataclass
+class _CampaignRollups:
+    """All gold accumulators of one campaign."""
+
+    users: dict[str, _UserRollup] = field(default_factory=dict)
+    system: dict[str, _GroupRollup] = field(default_factory=dict)
+    python: dict[str, _GroupRollup] = field(default_factory=dict)
+    by_exe_name: dict[str, _ExeNameRollup] = field(default_factory=dict)
+
+    def fold(self, record: ProcessRecord, user_names: dict[int, str]) -> None:
+        """Fold one finalized record into every accumulator (commutative)."""
+        key = _key_tuple(record)
+        user = _user_label(record, user_names)
+        stat = self.users.get(user)
+        if stat is None:
+            stat = self.users[user] = _UserRollup(first_key=key)
+        elif key < stat.first_key:
+            stat.first_key = key
+        if record.jobid:
+            stat.jobs.add(record.jobid)
+        stat.counts[record.category] = stat.counts.get(record.category, 0) + 1
+
+        if record.category == ExecutableCategory.SYSTEM.value:
+            self._fold_group(self.system, record.executable, key, user,
+                             record.jobid, record.objects_h)
+        elif record.category == ExecutableCategory.PYTHON.value:
+            self._fold_group(self.python, record.executable_name, key, user,
+                             record.jobid, record.script_h)
+
+        name = record.executable_name
+        exe = self.by_exe_name.get(name)
+        if exe is None:
+            exe = self.by_exe_name[name] = _ExeNameRollup(
+                last_key=key, executable=record.executable)
+        elif key > exe.last_key:
+            exe.last_key = key
+            exe.executable = record.executable
+        objects = tuple(record.object_list)
+        variant = exe.variants.get(objects)
+        if variant is None:
+            variant = exe.variants[objects] = _VariantRollup(first_key=key)
+        elif key < variant.first_key:
+            variant.first_key = key
+        variant.process_count += 1
+
+    @staticmethod
+    def _fold_group(stats: dict[str, _GroupRollup], group: str, key: _Key,
+                    user: str, jobid: str, content_hash: str) -> None:
+        stat = stats.get(group)
+        if stat is None:
+            stat = stats[group] = _GroupRollup(first_key=key)
+        elif key < stat.first_key:
+            stat.first_key = key
+        stat.users.add(user)
+        if jobid:
+            stat.jobs.add(jobid)
+        stat.processes += 1
+        if content_hash:
+            stat.hashes.add(content_hash)
+
+
+def _in_first_key_order(stats: dict) -> list:
+    """Group names ordered by their minimum process key.
+
+    A recompute over canonically key-sorted records inserts each group at
+    its first record, i.e. at the group's minimum key -- so this order *is*
+    the reference's pre-sort row order, and the stable table sort on top
+    breaks ties identically.
+    """
+    return sorted(stats, key=lambda group: stats[group].first_key)
+
+
+# --------------------------------------------------------------------------- #
+# the tiered store
+# --------------------------------------------------------------------------- #
+class TieredStore:
+    """Partitioned silver record tier + incrementally maintained gold rollups.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`StoreBackend` substrate (default: a fresh
+        :class:`MemoryBackend`).  Reopening a backend that already holds
+        silver rows rebuilds the in-memory version map and gold rollups
+        from one silver scan (counted in ``rollup_rebuilds``).
+    shards:
+        Silver partition count.  Pinned in backend meta on first use; a
+        mismatched reopen raises :class:`StoreError` (rows would land on
+        the wrong partitions).
+    campaign:
+        Default campaign label of :meth:`ingest_records`.  One backend can
+        hold many campaigns; blobs are shared across all of them, silver
+        rows and gold rollups are per campaign.
+    user_names:
+        UID -> anonymised-label mapping baked into the Table 2/3/8 user
+        dimensions; must not change after records are ingested.
+    """
+
+    def __init__(self, backend: StoreBackend | None = None, *,
+                 shards: int = DEFAULT_SHARDS, campaign: str = "campaign",
+                 user_names: dict[int, str] | None = None) -> None:
+        if shards < 1:
+            raise StoreError(f"tiered store needs shards >= 1, got {shards}")
+        self.backend: StoreBackend = MemoryBackend() if backend is None else backend
+        self.campaign = campaign
+        self.user_names = dict(user_names or {})
+        pinned = self.backend.get_meta("shards")
+        if pinned is None:
+            self.backend.set_meta("shards", str(shards))
+        elif int(pinned) != shards:
+            raise StoreError(
+                f"backend was partitioned into {pinned} silver shards; "
+                f"reopening it with shards={shards} would misroute records")
+        self.shards = shards
+        #: Operational counters (every key is declared in
+        #: :data:`repro.util.counters.COUNTERS`; the ``rollups`` lint family
+        #: checks each increment site below against the registry).
+        self.counters: dict[str, int] = {
+            "blob_dedup_hits": 0,
+            "blobs_collected": 0,
+            "compaction_dropped": 0,
+            "compactions": 0,
+            "retention_dropped": 0,
+            "rollup_dedup_skips": 0,
+            "rollup_query_hits": 0,
+            "rollup_query_misses": 0,
+            "rollup_rebuilds": 0,
+            "rollup_records_applied": 0,
+            "rollup_syncs": 0,
+        }
+        #: key string -> (content digest, campaign) of the latest version.
+        self._versions: dict[str, tuple[int, str]] = {}
+        #: live record count per campaign, maintained incrementally so
+        #: :meth:`campaigns` / :meth:`record_count` -- and therefore every
+        #: default-campaign gold query -- stay O(campaigns), not O(records).
+        self._campaign_counts: dict[str, int] = {}
+        self._gold: dict[str, _CampaignRollups] = {}
+        self._dirty: set[str] = set()
+        if any(self.backend.row_count(shard) for shard in range(self.shards)):
+            self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # silver ingest
+    # ------------------------------------------------------------------ #
+    def ingest_records(self, records: Iterable[ProcessRecord], *,
+                       campaign: str | None = None) -> int:
+        """Fold a batch of finalized records into silver + gold.
+
+        Idempotent per ``(key, content)``: re-delivered unchanged records
+        are dedup no-ops; a changed record under a known key appends a
+        superseding silver version and marks the owning campaign's gold
+        dirty for a lazy rebuild.  Returns how many versions were appended.
+        """
+        label = self.campaign if campaign is None else campaign
+        pending: dict[int, list[tuple[str, str]]] = {}
+        applied = 0
+        for record in records:
+            key = record_key(record)
+            digest = record_digest(record)
+            previous = self._versions.get(key)
+            if previous is not None and previous[0] == digest and previous[1] == label:
+                self.counters["rollup_dedup_skips"] += 1
+                continue
+            payload = self._encode(record, label, digest)
+            pending.setdefault(shard_of_key(key, self.shards), []).append(
+                (key, payload))
+            self._versions[key] = (digest, label)
+            applied += 1
+            if previous is None or previous[1] != label:
+                if previous is not None:
+                    self._campaign_counts[previous[1]] -= 1
+                self._campaign_counts[label] = \
+                    self._campaign_counts.get(label, 0) + 1
+            if previous is not None:
+                # A superseding version: the old content is already folded
+                # into gold, so the rollups must be rebuilt from the latest
+                # silver versions before the next query.
+                self._dirty.add(label)
+                if previous[1] != label:
+                    self._dirty.add(previous[1])
+            elif label not in self._dirty:
+                self._rollups(label).fold(record, self.user_names)
+                self.counters["rollup_records_applied"] += 1
+        for shard, rows in sorted(pending.items()):
+            self.backend.append_rows(shard, rows)
+        self.counters["rollup_syncs"] += 1
+        return applied
+
+    def _encode(self, record: ProcessRecord, campaign: str, digest: int) -> str:
+        """Silver payload JSON for one record (heavy columns as blob refs)."""
+        payload: dict[str, object] = {
+            "campaign": campaign,
+            "digest": str(digest),
+            "fields": {name: getattr(record, name) for name in _INLINE_FIELDS},
+            "blobs": {name: str(self._put_blob(getattr(record, name)))
+                      for name in DEDUP_FIELDS},
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    def _put_blob(self, content: str) -> int:
+        digest = fnv1a_64(content.encode("utf-8"))
+        existing = self.backend.get_blob(digest)
+        if existing is None:
+            self.backend.put_blob(digest, content)
+        elif existing != content:
+            raise StoreError(
+                f"FNV-64 content digest collision on blob {digest:#018x}: "
+                "two distinct payloads hash identically; the "
+                "content-addressed dedup scheme cannot store both")
+        else:
+            self.counters["blob_dedup_hits"] += 1
+        return digest
+
+    def _decode(self, payload: str) -> tuple[ProcessRecord, str, int]:
+        """Rebuild ``(record, campaign, digest)`` from one silver payload."""
+        data = json.loads(payload)
+        values: dict[str, object] = dict(data["fields"])
+        for name, blob_digest in data["blobs"].items():
+            content = self.backend.get_blob(int(blob_digest))
+            if content is None:
+                raise StoreError(
+                    f"silver row references missing blob {int(blob_digest):#018x}"
+                    f" for field {name!r} (compaction dropped a live blob?)")
+            values[name] = content
+        return ProcessRecord(**values), str(data["campaign"]), int(data["digest"])
+
+    def _iter_live(self) -> Iterator[tuple[str, str, str]]:
+        """Yield ``(key, payload, campaign)`` of every *latest* silver version."""
+        for shard in range(self.shards):
+            latest: dict[str, tuple[str, str]] = {}
+            for key, payload in self.backend.iter_rows(shard):
+                digest, campaign = self._current_version(key, payload)
+                if digest is not None:
+                    latest[key] = (payload, campaign)
+            yield from ((key, payload, campaign)
+                        for key, (payload, campaign) in latest.items())
+
+    def _current_version(self, key: str, payload: str) -> tuple[str | None, str]:
+        """Cheap latest-version check without decoding blobs."""
+        data = json.loads(payload)
+        digest, campaign = str(data["digest"]), str(data["campaign"])
+        current = self._versions.get(key)
+        if current is None or str(current[0]) != digest or current[1] != campaign:
+            return None, campaign
+        return digest, campaign
+
+    # ------------------------------------------------------------------ #
+    # record reconstruction
+    # ------------------------------------------------------------------ #
+    def records(self, campaign: str | None = None) -> list[ProcessRecord]:
+        """Reconstruct the live records (latest version per key), key-sorted.
+
+        ``campaign`` filters to one label; ``None`` returns every campaign's
+        records.  The A/B seam: feeding the result to the
+        :mod:`repro.analysis.stats` reference functions must reproduce every
+        gold answer byte-for-byte.
+        """
+        records = []
+        for _key, payload, label in self._iter_live():
+            if campaign is not None and label != campaign:
+                continue
+            records.append(self._decode(payload)[0])
+        records.sort(key=_key_tuple)
+        return records
+
+    def record_count(self, campaign: str | None = None) -> int:
+        """Live (latest-version) record count, optionally per campaign."""
+        if campaign is None:
+            return len(self._versions)
+        return self._campaign_counts.get(campaign, 0)
+
+    def campaigns(self) -> list[str]:
+        """Campaign labels present in silver, sorted."""
+        return sorted(label for label, count in self._campaign_counts.items()
+                      if count > 0)
+
+    # ------------------------------------------------------------------ #
+    # gold rollups
+    # ------------------------------------------------------------------ #
+    def _rollups(self, campaign: str) -> _CampaignRollups:
+        rollups = self._gold.get(campaign)
+        if rollups is None:
+            rollups = self._gold[campaign] = _CampaignRollups()
+        return rollups
+
+    def _rebuild(self) -> None:
+        """Rebuild the version map and every campaign's gold from silver."""
+        self._versions.clear()
+        # Pass 1: the latest version per key wins (append order per shard).
+        for shard in range(self.shards):
+            for key, payload in self.backend.iter_rows(shard):
+                data = json.loads(payload)
+                self._versions[key] = (int(data["digest"]), str(data["campaign"]))
+        self._campaign_counts = {}
+        for _digest, label in self._versions.values():
+            self._campaign_counts[label] = \
+                self._campaign_counts.get(label, 0) + 1
+        # Pass 2: fold only the winning versions into fresh rollups.
+        self._gold = {}
+        for _key, payload, label in self._iter_live():
+            record, _campaign, _digest = self._decode(payload)
+            self._rollups(label).fold(record, self.user_names)
+        self._dirty.clear()
+        self.counters["rollup_rebuilds"] += 1
+
+    def _query_rollups(self, campaign: str | None) -> _CampaignRollups:
+        if campaign is None:
+            labels = self.campaigns() or [self.campaign]
+            if len(labels) > 1:
+                raise StoreError(
+                    f"this tiered store holds {len(labels)} campaigns "
+                    f"({', '.join(labels)}); name one to query its rollups")
+            campaign = labels[0]
+        if self._dirty:
+            self.counters["rollup_query_misses"] += 1
+            self._rebuild()
+        else:
+            self.counters["rollup_query_hits"] += 1
+        return self._gold.get(campaign) or _CampaignRollups()
+
+    def user_activity(self, campaign: str | None = None) -> list[UserActivityRow]:
+        """Table 2 in O(answer), byte-identical to ``user_activity_table``."""
+        rollups = self._query_rollups(campaign)
+        rows = [
+            UserActivityRow(
+                user=user,
+                job_count=len(stat.jobs),
+                system_processes=stat.counts.get(ExecutableCategory.SYSTEM.value, 0),
+                user_processes=stat.counts.get(ExecutableCategory.USER.value, 0),
+                python_processes=stat.counts.get(ExecutableCategory.PYTHON.value, 0),
+            )
+            for user in _in_first_key_order(rollups.users)
+            for stat in (rollups.users[user],)
+        ]
+        rows.sort(key=lambda row: (row.job_count, row.system_processes,
+                                   row.user_processes, row.python_processes),
+                  reverse=True)
+        return rows
+
+    def system_executables(self, campaign: str | None = None,
+                           top: int | None = 10) -> list[SystemExecutableRow]:
+        """Table 3 in O(answer), byte-identical to ``system_executable_table``."""
+        rollups = self._query_rollups(campaign)
+        rows = [
+            SystemExecutableRow(
+                executable=path,
+                unique_users=len(stat.users),
+                job_count=len(stat.jobs),
+                process_count=stat.processes,
+                unique_objects_h=len(stat.hashes),
+            )
+            for path in _in_first_key_order(rollups.system)
+            for stat in (rollups.system[path],)
+        ]
+        rows.sort(key=lambda row: (row.unique_users, row.job_count,
+                                   row.process_count, row.unique_objects_h),
+                  reverse=True)
+        return rows[:top] if top is not None else rows
+
+    def shared_object_variants(
+        self, executable_name: str, campaign: str | None = None,
+        distinguish: tuple[str, ...] = ("libtinfo", "libm"),
+    ) -> list[SharedObjectVariantRow]:
+        """Table 4 in O(answer), byte-identical to ``shared_object_variant_table``."""
+        rollups = self._query_rollups(campaign)
+        exe = rollups.by_exe_name.get(executable_name)
+        if exe is None:
+            return []
+        rows = []
+        for objects in _in_first_key_order(exe.variants):
+            variant = exe.variants[objects]
+            distinguishing: dict[str, str] = {}
+            for name in distinguish:
+                match = next((path for path in objects
+                              if name in path.rsplit("/", 1)[-1]), "")
+                distinguishing[name] = match
+            rows.append(SharedObjectVariantRow(
+                executable=exe.executable, process_count=variant.process_count,
+                objects=objects, distinguishing=distinguishing))
+        rows.sort(key=lambda row: row.process_count, reverse=True)
+        return rows
+
+    def python_interpreters(self, campaign: str | None = None,
+                            ) -> list[PythonInterpreterRow]:
+        """Table 8 in O(answer), byte-identical to ``python_interpreter_table``."""
+        rollups = self._query_rollups(campaign)
+        rows = [
+            PythonInterpreterRow(
+                interpreter=name,
+                unique_users=len(stat.users),
+                job_count=len(stat.jobs),
+                process_count=stat.processes,
+                unique_script_h=len(stat.hashes),
+            )
+            for name in _in_first_key_order(rollups.python)
+            for stat in (rollups.python[name],)
+        ]
+        rows.sort(key=lambda row: (row.unique_users, row.job_count,
+                                   row.process_count, row.unique_script_h),
+                  reverse=True)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # compaction and retention
+    # ------------------------------------------------------------------ #
+    def compact(self) -> int:
+        """Drop superseded silver versions and unreferenced blobs.
+
+        Idempotent: a second pass over an already-compacted store drops
+        nothing.  Gold is untouched -- rollups only ever reference the
+        latest versions, which compaction keeps.  Returns how many
+        superseded row versions were dropped.
+        """
+        dropped = 0
+        referenced: set[int] = set()
+        for shard in range(self.shards):
+            kept: dict[str, tuple[str, str]] = {}
+            total = 0
+            for key, payload in self.backend.iter_rows(shard):
+                total += 1
+                digest, _campaign = self._current_version(key, payload)
+                if digest is not None:
+                    kept[key] = (key, payload)
+            if total != len(kept):
+                self.backend.replace_rows(shard, list(kept.values()))
+                dropped += total - len(kept)
+            for _key, payload in kept.values():
+                data = json.loads(payload)
+                referenced.update(int(d) for d in data["blobs"].values())
+        self.counters["compactions"] += 1
+        self.counters["compaction_dropped"] += dropped
+        self._collect_blobs(referenced)
+        return dropped
+
+    def drop_campaign(self, campaign: str) -> int:
+        """Retention: drop one campaign's silver rows, blobs and rollups.
+
+        Blobs still referenced by other campaigns survive (the dedup tier
+        is shared); returns how many record versions were dropped.
+        """
+        dropped = 0
+        referenced: set[int] = set()
+        for shard in range(self.shards):
+            kept: list[tuple[str, str]] = []
+            for key, payload in self.backend.iter_rows(shard):
+                data = json.loads(payload)
+                if str(data["campaign"]) == campaign:
+                    dropped += 1
+                    continue
+                kept.append((key, payload))
+                referenced.update(int(d) for d in data["blobs"].values())
+            if dropped:
+                self.backend.replace_rows(shard, kept)
+        self._versions = {key: (digest, label)
+                          for key, (digest, label) in self._versions.items()
+                          if label != campaign}
+        self._campaign_counts.pop(campaign, None)
+        self._gold.pop(campaign, None)
+        self._dirty.discard(campaign)
+        self.counters["retention_dropped"] += dropped
+        self._collect_blobs(referenced)
+        return dropped
+
+    def _collect_blobs(self, referenced: set[int]) -> None:
+        """Garbage-collect blobs no live silver row references."""
+        stale = [digest for digest in self._backend_blob_digests()
+                 if digest not in referenced]
+        if stale:
+            self.backend.delete_blobs(stale)
+            self.counters["blobs_collected"] += len(stale)
+
+    def _backend_blob_digests(self) -> set[int]:
+        # The protocol has no digest listing on purpose (keeps the seam
+        # tiny); enumerate via the concrete backends we know about.  An
+        # unknown backend simply skips garbage collection -- blobs linger,
+        # answers stay correct.
+        if isinstance(self.backend, MemoryBackend):
+            return set(self.backend._blobs)
+        if isinstance(self.backend, SqliteBackend):
+            return {int(row[0]) & 0xFFFFFFFFFFFFFFFF
+                    for row in self.backend.connection.execute(
+                        "SELECT digest FROM tier_blobs")}
+        return set()
+
+    # ------------------------------------------------------------------ #
+    # instrumentation
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> dict[str, int]:
+        """Operational counters of the tiered store (all registry-declared)."""
+        counters = self.counters
+        return {
+            "silver_records": len(self._versions),
+            "silver_rows": sum(self.backend.row_count(shard)
+                               for shard in range(self.shards)),
+            "silver_shards": self.shards,
+            "blob_entries": self.backend.blob_count(),
+            "rollup_campaigns": len(self.campaigns()),
+            "blob_dedup_hits": counters["blob_dedup_hits"],
+            "blobs_collected": counters["blobs_collected"],
+            "compaction_dropped": counters["compaction_dropped"],
+            "compactions": counters["compactions"],
+            "retention_dropped": counters["retention_dropped"],
+            "rollup_dedup_skips": counters["rollup_dedup_skips"],
+            "rollup_query_hits": counters["rollup_query_hits"],
+            "rollup_query_misses": counters["rollup_query_misses"],
+            "rollup_rebuilds": counters["rollup_rebuilds"],
+            "rollup_records_applied": counters["rollup_records_applied"],
+            "rollup_syncs": counters["rollup_syncs"],
+        }
+
+    def close(self) -> None:
+        """Release the backend."""
+        self.backend.close()
+
+
+def build_tiered_store(backend_name: str, *, store_path: str = ":memory:",
+                       shards: int = DEFAULT_SHARDS,
+                       campaign: str = "campaign",
+                       user_names: dict[int, str] | None = None) -> TieredStore:
+    """Construct a :class:`TieredStore` from the ``store_backend`` knob.
+
+    ``"sqlite"`` derives the backend path from the campaign's ``store_path``
+    (``<store_path>.tiered`` on disk, in-memory alongside an in-memory
+    store); ``"memory"`` uses the dict backend regardless of path.
+    """
+    if backend_name == "memory":
+        backend: StoreBackend = MemoryBackend()
+    elif backend_name == "sqlite":
+        path = ":memory:" if store_path == ":memory:" else f"{store_path}.tiered"
+        backend = SqliteBackend(path)
+    else:
+        raise StoreError(
+            f"unknown store_backend {backend_name!r} "
+            "(expected 'sqlite' or 'memory')")
+    return TieredStore(backend, shards=shards, campaign=campaign,
+                       user_names=user_names)

@@ -1,6 +1,6 @@
 """AST-based static analysis enforcing the repository's invariants.
 
-Four rule families, each born from a bug that actually shipped here:
+Five rule families, each born from a bug that actually shipped here:
 
 * ``determinism`` -- no unseeded randomness, OS entropy or wall-clock reads
   in the one-seed-deterministic packages (:mod:`.determinism`);
@@ -9,7 +9,10 @@ Four rule families, each born from a bug that actually shipped here:
 * ``knobs`` -- CampaignConfig / SirenConfig / consumption / docs knob-table
   parity, checked by dataclass introspection (:mod:`.knobs`);
 * ``counters`` -- every surfaced statistics key declared once in
-  :mod:`repro.util.counters` (:mod:`.counters`).
+  :mod:`repro.util.counters` (:mod:`.counters`);
+* ``rollups`` -- every ``counters``-mapping increment site (the tiered
+  store's hot-path bumps, invisible to the statistics-function scan) uses
+  a registered literal key (:mod:`.rollups`).
 
 Run ``python -m repro.devtools.lint src/repro`` (or
 ``scripts/lint_repro.py``); silence a deliberate violation with

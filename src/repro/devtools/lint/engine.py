@@ -216,11 +216,13 @@ def _load_builtin_checkers() -> None:
     Import side effects register them the first time; the explicit loop
     makes the registry self-repairing after :func:`registry_clear`.
     """
-    from repro.devtools.lint import concurrency, counters, determinism, knobs
+    from repro.devtools.lint import (concurrency, counters, determinism, knobs,
+                                     rollups)
     for factory in (concurrency.ConcurrencyChecker,
                     counters.CounterRegistryChecker,
                     determinism.DeterminismChecker,
-                    knobs.KnobParityChecker):
+                    knobs.KnobParityChecker,
+                    rollups.RollupCounterChecker):
         if factory().family not in _REGISTRY:
             register_checker(factory)
 

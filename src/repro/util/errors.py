@@ -63,6 +63,16 @@ class WorkerCrashError(IngestError):
     """
 
 
+class StoreError(ReproError):
+    """Raised by the tiered record store (:mod:`repro.db.tiered`).
+
+    Covers backend misconfiguration (unknown ``store_backend`` name, a
+    shard-count mismatch on reopen), content-digest collisions in the
+    blob dedup tier, and querying an ambiguous multi-campaign store
+    without naming a campaign.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised by the analysis layer (e.g. similarity search on empty data)."""
 

@@ -32,6 +32,7 @@ from repro.collector.policy import DEFAULT_POLICY, CollectionPolicy
 from repro.corpus.builder import CorpusBuilder, CorpusManifest
 from repro.corpus.packages import PACKAGES_BY_NAME
 from repro.db.store import MessageStore, ProcessRecord
+from repro.db.tiered import TieredStore, build_tiered_store
 from repro.faults.channel import FaultyChannel
 from repro.faults.plan import FaultPlan
 from repro.faults.store import StoreFaultInjector
@@ -152,6 +153,16 @@ class CampaignConfig:
     #: campaign's ingest path -- merged records are equal to the serial
     #: driver's (see docs/architecture.md for the determinism contract).
     campaign_workers: int = 1
+    #: storage substrate of the tiered record store (``rollups=True``):
+    #: ``"sqlite"`` persists the silver/blob tables next to ``store_path``,
+    #: ``"memory"`` keeps them in plain dicts.
+    store_backend: str = "sqlite"
+    #: maintain the tiered record store (:mod:`repro.db.tiered`) alongside
+    #: the ``processes`` table: silver hash-partitioned record shards with
+    #: content-addressed payload dedup plus gold rollups answering the
+    #: Table 2/3/4/8 queries in O(answer), pinned byte-identical to the
+    #: recompute-from-records reference.
+    rollups: bool = False
 
     def jobs_for(self, profile: UserProfile) -> int:
         """Number of jobs this profile submits at the configured scale."""
@@ -189,6 +200,14 @@ class CampaignResult:
     #: timers are summed in, so totals are aggregate CPU-seconds and can
     #: exceed the parent's wall-clock.
     stage_timings: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: the tiered record store (``rollups=True`` runs only): silver record
+    #: shards + gold rollups, kept in sync with the ``processes`` table
+    tiered: TieredStore | None = None
+    #: parent-side feed coalescing counters of the parallel driver
+    #: (``campaign_workers > 1`` only): ``batches_received`` worker batches
+    #: arrived, merged into ``feed_calls`` ingest calls covering
+    #: ``datagrams_fed`` datagrams
+    feed_stats: dict[str, int] | None = None
 
     @property
     def incomplete_fraction(self) -> float:
@@ -242,6 +261,9 @@ class CampaignResult:
         if self.ingest is not None:
             for key, value in self.ingest.statistics().items():
                 stats[f"ingest_{key}"] = value
+        if self.tiered is not None:
+            for key, value in self.tiered.statistics().items():
+                stats[key] = value
         return stats
 
 
@@ -270,6 +292,8 @@ class DeploymentCampaign:
     channel: CampaignChannel = field(init=False)
     receiver: MessageReceiver | None = field(init=False, default=None)
     ingest: ShardedIngest | None = field(init=False, default=None)
+    tiered: TieredStore | None = field(init=False, default=None)
+    feed_stats: dict[str, int] | None = field(init=False, default=None)
     store_fault_injector: StoreFaultInjector | None = field(init=False, default=None)
     scenario_builder: ScenarioBuilder = field(init=False)
     rng: SeededRNG = field(init=False)
@@ -301,6 +325,10 @@ class DeploymentCampaign:
         if self.config.campaign_workers < 1:
             raise CollectionError(
                 f"campaign_workers must be >= 1, got {self.config.campaign_workers}")
+        if self.config.store_backend not in ("sqlite", "memory"):
+            raise CollectionError(
+                f"unknown store_backend {self.config.store_backend!r} "
+                "(expected 'sqlite' or 'memory')")
         plan = self.config.fault_plan
         if (self.config.campaign_workers > 1 and plan is not None
                 and plan.channel.active):
@@ -335,6 +363,17 @@ class DeploymentCampaign:
             self.store.timer = self.timer
             if plan is not None and plan.store.active:
                 self.store_fault_injector = StoreFaultInjector(plan).install(self.store)
+            if self.config.rollups:
+                # Users are registered above, so the gold user dimension can
+                # bake in the anonymised labels; the store's auto-sync keeps
+                # the tiers current through every consolidation path.
+                self.tiered = build_tiered_store(
+                    self.config.store_backend,
+                    store_path=self.config.store_path,
+                    campaign=f"campaign-seed{self.config.seed}",
+                    user_names={user.uid: user.username
+                                for user in self.cluster.users.all()})
+                self.store.attach_tiered(self.tiered)
         if self.config.transport == "socket" and not sink_only:
             self.channel = SocketChannel()
         elif self.config.loss_rate > 0:
@@ -466,6 +505,8 @@ class DeploymentCampaign:
             fault_counters=fault_counters,
             store_fault_injector=self.store_fault_injector,
             stage_timings=self.timer.as_dict(),
+            tiered=self.tiered,
+            feed_stats=self.feed_stats,
         )
 
     def snapshot(self) -> list[ProcessRecord]:

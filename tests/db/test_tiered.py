@@ -1,0 +1,346 @@
+"""Tests for the tiered record store (bronze/silver/gold).
+
+The load-bearing property is *byte identity*: every gold rollup answer must
+equal the corresponding :mod:`repro.analysis.stats` table recomputed from
+the key-sorted record list -- across backends, ingest orders, re-delivery,
+superseding versions, compaction, retention, reopen, and full campaigns in
+every ingest mode.  The rollups are an optimisation, never a new answer.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import stats
+from repro.db.store import MessageStore, ProcessRecord
+from repro.db.tiered import (DEFAULT_SHARDS, MemoryBackend, SqliteBackend,
+                             TieredStore, build_tiered_store, record_digest,
+                             record_key, shard_of_key)
+from repro.util.counters import assert_registered_counters
+from repro.util.errors import StoreError
+from repro.workload import CampaignConfig, DeploymentCampaign
+from repro.workload.profiles import DEFAULT_PROFILES
+
+_USERS = {1000 + i: f"user_{i}" for i in range(6)}
+_OBJECT_SETS = (
+    "/lib64/libc.so.6\n/lib64/libtinfo.so.5",
+    "/lib64/libc.so.6\n/lib64/libtinfo.so.6\n/lib64/libm.so.6",
+    "/lib64/libc.so.6",
+    "",
+)
+
+
+def _record(index: int, rng: random.Random) -> ProcessRecord:
+    category = rng.choice(("system", "python", "user"))
+    executable = {
+        "system": rng.choice(("/usr/bin/bash", "/usr/bin/grep", "/usr/bin/awk")),
+        "python": "/usr/bin/python3",
+        "user": rng.choice(("/home/p/app", "/home/p/model")),
+    }[category]
+    return ProcessRecord(
+        jobid=f"j{rng.randrange(20)}", stepid="0", pid=100 + index,
+        hash=f"h{rng.randrange(9)}", host=f"n{index % 4}", time=1000 + index,
+        uid=rng.choice(list(_USERS)), executable=executable, category=category,
+        objects=rng.choice(_OBJECT_SETS), objects_h=f"oh{rng.randrange(4)}",
+        script_h="sh1" if category == "python" else "",
+        modules="PrgEnv-cray", compilers="Cray clang 14;",
+        maps="55a000-55afff r-xp /usr/bin/bash",
+        file_metadata="rwxr-xr-x root root 4096",
+        python_packages="numpy,scipy" if category == "python" else "")
+
+
+def _records(count: int, seed: int) -> list[ProcessRecord]:
+    rng = random.Random(seed)
+    return [_record(index, rng) for index in range(count)]
+
+
+def _sorted(records) -> list[ProcessRecord]:
+    return sorted(records, key=lambda r: (r.jobid, r.stepid, r.pid, r.hash,
+                                          r.host, r.time))
+
+
+def _assert_tables_match(tiered: TieredStore, records, user_names,
+                         campaign=None) -> None:
+    """Every gold answer byte-identical to the recompute reference."""
+    reference = _sorted(records)
+    assert tiered.user_activity(campaign) == \
+        stats.user_activity_table(reference, user_names)
+    assert tiered.system_executables(campaign) == \
+        stats.system_executable_table(reference, user_names)
+    assert tiered.shared_object_variants("bash", campaign) == \
+        stats.shared_object_variant_table(reference, "bash")
+    assert tiered.python_interpreters(campaign) == \
+        stats.python_interpreter_table(reference, user_names)
+
+
+BACKENDS = [pytest.param(MemoryBackend, id="memory"),
+            pytest.param(SqliteBackend, id="sqlite")]
+
+
+class TestContentAddressing:
+    def test_record_key_and_shard_are_content_functions(self):
+        a, b = _records(2, seed=1)[0], _records(2, seed=1)[0]
+        assert record_key(a) == record_key(b)
+        assert record_digest(a) == record_digest(b)
+        assert shard_of_key(record_key(a), 8) == shard_of_key(record_key(b), 8)
+        assert 0 <= shard_of_key(record_key(a), 8) < 8
+
+    def test_digest_sees_every_field(self):
+        base = _records(1, seed=2)[0]
+        changed = _records(1, seed=2)[0]
+        changed.modules = "PrgEnv-gnu"
+        assert record_key(base) == record_key(changed)  # identity unchanged
+        assert record_digest(base) != record_digest(changed)
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+class TestRollupEquivalence:
+    """rollup == recompute, both backends, shuffled ingest, many seeds."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_shuffled_batches_match_recompute(self, backend_cls, seed):
+        records = _records(120, seed=seed)
+        shuffled = list(records)
+        random.Random(seed).shuffle(shuffled)
+        tiered = TieredStore(backend_cls(), campaign="c", user_names=_USERS)
+        # Ingest in arbitrary batch boundaries and arrival order.
+        for start in range(0, len(shuffled), 17):
+            tiered.ingest_records(shuffled[start:start + 17])
+        _assert_tables_match(tiered, records, _USERS)
+        assert tiered.record_count() == len(records)
+        tiered.close()
+
+    def test_mid_ingest_snapshots_match_recompute(self, backend_cls):
+        """The rollups are right at *every* prefix, not just at the end."""
+        records = _records(90, seed=5)
+        tiered = TieredStore(backend_cls(), campaign="c", user_names=_USERS)
+        for start in range(0, len(records), 30):
+            tiered.ingest_records(records[start:start + 30])
+            _assert_tables_match(tiered, records[:start + 30], _USERS)
+        tiered.close()
+
+    def test_redelivery_is_a_dedup_skip(self, backend_cls):
+        records = _records(40, seed=3)
+        tiered = TieredStore(backend_cls(), campaign="c", user_names=_USERS)
+        assert tiered.ingest_records(records) == len(records)
+        assert tiered.ingest_records(records) == 0  # unchanged -> skipped
+        assert tiered.statistics()["rollup_dedup_skips"] == len(records)
+        _assert_tables_match(tiered, records, _USERS)
+        tiered.close()
+
+    def test_changed_record_supersedes_and_requeries(self, backend_cls):
+        records = _records(40, seed=4)
+        tiered = TieredStore(backend_cls(), campaign="c", user_names=_USERS)
+        tiered.ingest_records(records)
+        updated = _records(40, seed=4)
+        updated[7].modules = "PrgEnv-gnu"
+        updated[7].executable = "/usr/bin/sed"
+        tiered.ingest_records([updated[7]])
+        _assert_tables_match(tiered, updated, _USERS)
+        assert tiered.record_count() == len(records)  # a version, not a row
+        assert tiered.statistics()["rollup_query_misses"] >= 1
+        tiered.close()
+
+    def test_compaction_is_idempotent(self, backend_cls):
+        records = _records(60, seed=6)
+        tiered = TieredStore(backend_cls(), campaign="c", user_names=_USERS)
+        tiered.ingest_records(records)
+        updated = _records(60, seed=6)
+        for index in (3, 12, 30):
+            updated[index].objects = "/lib64/libnew.so"
+        tiered.ingest_records([updated[3], updated[12], updated[30]])
+        silver_rows = tiered.statistics()["silver_rows"]
+        dropped = tiered.compact()
+        assert dropped == 3  # exactly the superseded versions
+        assert tiered.statistics()["silver_rows"] == silver_rows - 3
+        _assert_tables_match(tiered, updated, _USERS)
+        # Second pass finds nothing to fold -- and changes nothing.
+        assert tiered.compact() == 0
+        _assert_tables_match(tiered, updated, _USERS)
+        tiered.close()
+
+    def test_cross_campaign_blob_dedup(self, backend_cls):
+        """Two campaigns over the same payloads store each blob once."""
+        tiered = TieredStore(backend_cls(), campaign="a", user_names=_USERS)
+        first = _records(50, seed=8)
+        tiered.ingest_records(first, campaign="a")
+        blobs_after_one = tiered.statistics()["blob_entries"]
+        second = _records(50, seed=9)
+        for index, record in enumerate(second):
+            record.pid += 10_000  # distinct identities, same payload pools
+        tiered.ingest_records(second, campaign="b")
+        assert tiered.statistics()["blob_entries"] == blobs_after_one
+        assert tiered.statistics()["blob_dedup_hits"] > len(first)
+        # Per-campaign rollups stay independent and correct.
+        _assert_tables_match(tiered, first, _USERS, campaign="a")
+        _assert_tables_match(tiered, second, _USERS, campaign="b")
+        tiered.close()
+
+    def test_retention_drops_one_campaign_and_keeps_shared_blobs(
+            self, backend_cls):
+        tiered = TieredStore(backend_cls(), campaign="a", user_names=_USERS)
+        first = _records(30, seed=10)
+        tiered.ingest_records(first, campaign="a")
+        second = _records(30, seed=11)
+        for record in second:
+            record.pid += 10_000
+        tiered.ingest_records(second, campaign="b")
+        assert tiered.drop_campaign("a") == len(first)
+        assert tiered.campaigns() == ["b"]
+        assert tiered.record_count() == len(second)
+        _assert_tables_match(tiered, second, _USERS)  # b now unambiguous
+        # Blobs referenced by the survivor were not collected.
+        assert tiered.statistics()["blob_entries"] > 0
+        assert tiered.drop_campaign("a") == 0  # idempotent
+        tiered.close()
+
+    def test_multi_campaign_query_without_campaign_is_ambiguous(
+            self, backend_cls):
+        tiered = TieredStore(backend_cls(), campaign="a", user_names=_USERS)
+        tiered.ingest_records(_records(5, seed=12), campaign="a")
+        more = _records(5, seed=13)
+        for record in more:
+            record.pid += 10_000
+        tiered.ingest_records(more, campaign="b")
+        with pytest.raises(StoreError):
+            tiered.user_activity()
+        tiered.close()
+
+    def test_statistics_keys_are_all_registered(self, backend_cls):
+        tiered = TieredStore(backend_cls(), campaign="c", user_names=_USERS)
+        tiered.ingest_records(_records(10, seed=14))
+        assert_registered_counters(tiered.statistics(),
+                                   context="TieredStore.statistics()")
+        tiered.close()
+
+
+class TestSqlitePersistence:
+    def test_reopen_rebuilds_gold_from_silver(self, tmp_path):
+        path = str(tmp_path / "tiers.db")
+        records = _records(80, seed=20)
+        tiered = TieredStore(SqliteBackend(path), campaign="c",
+                             user_names=_USERS)
+        tiered.ingest_records(records)
+        expected = tiered.user_activity()
+        tiered.close()
+        reopened = TieredStore(SqliteBackend(path), campaign="c",
+                               user_names=_USERS)
+        assert reopened.statistics()["rollup_rebuilds"] == 1
+        assert reopened.user_activity() == expected
+        _assert_tables_match(reopened, records, _USERS)
+        reopened.close()
+
+    def test_shard_count_is_pinned_at_creation(self, tmp_path):
+        path = str(tmp_path / "tiers.db")
+        tiered = TieredStore(SqliteBackend(path), shards=4, campaign="c")
+        tiered.ingest_records(_records(5, seed=21))
+        tiered.close()
+        with pytest.raises(StoreError, match="shard"):
+            TieredStore(SqliteBackend(path), shards=8, campaign="c")
+
+    def test_factory_builds_both_backends_and_rejects_unknown(self, tmp_path):
+        memory = build_tiered_store("memory")
+        assert isinstance(memory.backend, MemoryBackend)
+        on_disk = build_tiered_store(
+            "sqlite", store_path=str(tmp_path / "siren.db"))
+        assert isinstance(on_disk.backend, SqliteBackend)
+        assert (tmp_path / "siren.db.tiered").exists()
+        on_disk.close()
+        with pytest.raises(StoreError):
+            build_tiered_store("parquet")
+
+    def test_default_shards(self):
+        tiered = TieredStore(MemoryBackend())
+        assert tiered.shards == DEFAULT_SHARDS
+        tiered.close()
+
+
+class TestMessageStoreSync:
+    def _record(self, pid: int) -> ProcessRecord:
+        return ProcessRecord(jobid="1", stepid="0", pid=pid, hash="a" * 32,
+                             host="n1", time=100, uid=1000,
+                             executable=f"/usr/bin/x{pid}", category="system")
+
+    def test_inserts_auto_sync_through_the_delta_stream(self):
+        store = MessageStore()
+        tiered = TieredStore(MemoryBackend(), campaign="c")
+        store.attach_tiered(tiered)
+        store.insert_processes([self._record(1), self._record(2)])
+        assert tiered.record_count() == 2
+        # Every insert flavour feeds the same cursor; re-offered keys are
+        # first-close-wins in bronze, so silver sees them exactly once.
+        store.insert_processes_if_absent([self._record(2), self._record(3)])
+        assert tiered.record_count() == 3
+        store.insert_or_replace_processes([self._record(3)])
+        assert tiered.record_count() == 3
+        assert tiered.statistics()["rollup_syncs"] >= 3
+        assert _sorted(store.load_processes()) == _sorted(tiered.records())
+
+    def test_attach_syncs_preexisting_records(self):
+        store = MessageStore()
+        store.insert_processes([self._record(1)])
+        tiered = TieredStore(MemoryBackend(), campaign="c")
+        store.attach_tiered(tiered)
+        assert tiered.record_count() == 1
+
+
+class TestCampaignProperty:
+    """Full campaigns: rollups match recompute in every ingest mode."""
+
+    PROFILES = DEFAULT_PROFILES[:3]
+
+    def _run(self, *, seed=17, loss_rate=0.01, **overrides):
+        config = CampaignConfig(scale=0.0, seed=seed, loss_rate=loss_rate,
+                                rollups=True, **overrides)
+        return DeploymentCampaign(config=config, profiles=self.PROFILES).run()
+
+    def _assert_result_matches(self, result):
+        tiered = result.tiered
+        assert tiered is not None
+        assert tiered.record_count() == len(result.records)
+        _assert_tables_match(tiered, result.records, result.user_names)
+        assert_registered_counters(result.statistics(),
+                                   context="CampaignResult.statistics()")
+
+    @pytest.mark.parametrize("seed,loss_rate", [(17, 0.0), (23, 0.01)])
+    def test_batch_campaign_rollups_match(self, seed, loss_rate):
+        self._assert_result_matches(
+            self._run(seed=seed, loss_rate=loss_rate,
+                      store_backend="memory"))
+
+    def test_streaming_campaign_rollups_match(self):
+        self._assert_result_matches(
+            self._run(ingest_mode="streaming", keep_raw_messages=False))
+
+    def test_sharded_streaming_campaign_rollups_match(self):
+        self._assert_result_matches(
+            self._run(ingest_mode="streaming", ingest_shards=2,
+                      keep_raw_messages=False, store_backend="memory"))
+
+    def test_mid_run_rollups_match_snapshot(self):
+        """Gold answers are right mid-campaign, at a live snapshot point."""
+        config = CampaignConfig(scale=0.0, seed=4, loss_rate=0.0002,
+                                ingest_mode="streaming", ingest_shards=2,
+                                keep_raw_messages=False, rollups=True)
+        campaign = DeploymentCampaign(config=config, profiles=self.PROFILES)
+        checked = []
+
+        def on_job(jobs_run: int) -> None:
+            if jobs_run == 5:
+                snapshot = campaign.snapshot()
+                user_names = {user.uid: user.username
+                              for user in campaign.cluster.users.all()}
+                _assert_tables_match(campaign.tiered, snapshot, user_names)
+                checked.append(len(snapshot))
+
+        campaign.on_job = on_job
+        result = campaign.run()
+        (snapshot_size,) = checked
+        assert 0 < snapshot_size < len(result.records)
+        self._assert_result_matches(result)
+
+    def test_invalid_store_backend_rejected(self):
+        from repro.util.errors import CollectionError
+        with pytest.raises(CollectionError):
+            DeploymentCampaign(
+                CampaignConfig(store_backend="parquet")).prepare()
